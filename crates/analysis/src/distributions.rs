@@ -1,0 +1,346 @@
+//! Failure-distribution analyses: Figures 3a–c, Figure 4 and the
+//! section-6 findings.
+//!
+//! All of them are share tables (percentage of failures per category) or
+//! histograms over connection age, computed from the Test-Log entries in
+//! the repository.
+
+use btpan_collect::entry::{TestLogEntry, WorkloadTag};
+use btpan_faults::UserFailure;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A share table: count and percentage per category label.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShareTable {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl ShareTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ShareTable::default()
+    }
+
+    /// Adds one observation of `category`.
+    pub fn add(&mut self, category: &str) {
+        *self.counts.entry(category.to_string()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count of `category`.
+    pub fn count(&self, category: &str) -> u64 {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// Percentage share of `category`.
+    pub fn percent(&self, category: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.count(category) as f64 / self.total as f64
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Categories in sorted order with their percentages.
+    pub fn rows(&self) -> Vec<(String, u64, f64)> {
+        self.counts
+            .iter()
+            .map(|(k, &v)| (k.clone(), v, self.percent(k)))
+            .collect()
+    }
+
+    /// Categories sorted by descending share.
+    pub fn ranked(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .counts
+            .keys()
+            .map(|k| (k.clone(), self.percent(k)))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite percentages"));
+        rows
+    }
+}
+
+/// Fig. 3a: packet-loss share per baseband packet type (Random WL).
+pub fn packet_loss_by_packet_type(tests: &[TestLogEntry]) -> ShareTable {
+    let mut table = ShareTable::new();
+    for t in tests {
+        if t.failure == UserFailure::PacketLoss && t.workload == WorkloadTag::Random {
+            if let Some(pt) = &t.packet_type {
+                table.add(pt);
+            }
+        }
+    }
+    table
+}
+
+/// Fig. 3c: packet-loss share per networked application (Realistic WL).
+pub fn packet_loss_by_app(tests: &[TestLogEntry]) -> ShareTable {
+    let mut table = ShareTable::new();
+    for t in tests {
+        if t.failure == UserFailure::PacketLoss && t.workload == WorkloadTag::Realistic {
+            if let Some(app) = &t.app {
+                table.add(app);
+            }
+        }
+    }
+    table
+}
+
+/// Fig. 4: share of each user failure per host (Realistic WL, no
+/// masking). Returns one table per failure type observed.
+pub fn failures_by_host(tests: &[TestLogEntry]) -> BTreeMap<UserFailure, ShareTable> {
+    let mut out: BTreeMap<UserFailure, ShareTable> = BTreeMap::new();
+    for t in tests {
+        if t.workload == WorkloadTag::Realistic {
+            out.entry(t.failure)
+                .or_default()
+                .add(&format!("node{}", t.node));
+        }
+    }
+    out
+}
+
+/// The 84 %/16 % random-vs-realistic failure split.
+pub fn failures_by_workload(tests: &[TestLogEntry]) -> ShareTable {
+    let mut table = ShareTable::new();
+    for t in tests {
+        table.add(match t.workload {
+            WorkloadTag::Random => "random",
+            WorkloadTag::Realistic => "realistic",
+        });
+    }
+    table
+}
+
+/// Distance distribution of failures (bind failures excluded, as in the
+/// paper — they bias the measure by manifesting on two hosts only).
+pub fn failures_by_distance(tests: &[TestLogEntry]) -> ShareTable {
+    let mut table = ShareTable::new();
+    for t in tests {
+        if t.workload == WorkloadTag::Realistic && t.failure != UserFailure::BindFailed {
+            table.add(&format!("{:.1}m", t.distance_m));
+        }
+    }
+    table
+}
+
+/// Mean idle time (`T_W`) preceding failed cycles vs clean cycles
+/// (the paper: 27.3 s vs 26.9 s — idle connections do not fail more).
+/// `clean_idles_s` comes from the campaign's cycle accounting.
+pub fn idle_time_comparison(tests: &[TestLogEntry], clean_idles_s: &[f64]) -> (f64, f64) {
+    let failed: Vec<f64> = tests.iter().filter_map(|t| t.idle_before_s).collect();
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (mean(&failed), mean(clean_idles_s))
+}
+
+/// Fig. 3b: histogram of packets sent before a loss (the special
+/// fixed-size WL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgeHistogram {
+    /// Bin width in packets.
+    pub bin_width: u64,
+    /// Counts per bin (bin i covers `[i*w, (i+1)*w)`).
+    pub bins: Vec<u64>,
+    /// Total observations.
+    pub total: u64,
+}
+
+impl AgeHistogram {
+    /// Builds the histogram from test entries carrying
+    /// `packets_sent_before`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero or `max_packets` not a multiple of
+    /// it.
+    pub fn from_tests(tests: &[TestLogEntry], bin_width: u64, max_packets: u64) -> Self {
+        assert!(bin_width > 0, "bin width must be positive");
+        assert_eq!(max_packets % bin_width, 0, "range must align to bins");
+        let mut bins = vec![0u64; (max_packets / bin_width) as usize];
+        let mut total = 0;
+        for t in tests {
+            if t.failure != UserFailure::PacketLoss {
+                continue;
+            }
+            if let Some(age) = t.packets_sent_before {
+                let idx = ((age.min(max_packets - 1)) / bin_width) as usize;
+                bins[idx] += 1;
+                total += 1;
+            }
+        }
+        AgeHistogram {
+            bin_width,
+            bins,
+            total,
+        }
+    }
+
+    /// Percentage share of bin `i`.
+    pub fn percent(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.bins[i] as f64 / self.total as f64
+        }
+    }
+
+    /// True when the early bins dominate (the paper's "young
+    /// connections fail more"): the first quarter of bins holds more
+    /// mass than the last quarter.
+    pub fn young_dominated(&self) -> bool {
+        let q = (self.bins.len() / 4).max(1);
+        let early: u64 = self.bins[..q].iter().sum();
+        let late: u64 = self.bins[self.bins.len() - q..].iter().sum();
+        early > late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_sim::time::SimTime;
+
+    fn entry(
+        failure: UserFailure,
+        workload: WorkloadTag,
+        packet_type: Option<&str>,
+        app: Option<&str>,
+        node: u64,
+    ) -> TestLogEntry {
+        TestLogEntry {
+            at: SimTime::from_secs(1),
+            node,
+            failure,
+            workload,
+            packet_type: packet_type.map(str::to_string),
+            packets_sent_before: None,
+            app: app.map(str::to_string),
+            distance_m: 5.0,
+            idle_before_s: None,
+        }
+    }
+
+    #[test]
+    fn share_table_percentages() {
+        let mut t = ShareTable::new();
+        t.add("a");
+        t.add("a");
+        t.add("b");
+        assert_eq!(t.total(), 3);
+        assert!((t.percent("a") - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.count("c"), 0);
+        assert_eq!(t.percent("c"), 0.0);
+        assert_eq!(t.ranked()[0].0, "a");
+    }
+
+    #[test]
+    fn fig3a_filters_to_random_packet_loss() {
+        let tests = vec![
+            entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DM1"), None, 1),
+            entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DM1"), None, 1),
+            entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DH5"), None, 1),
+            // excluded: realistic workload and other failures
+            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, Some("DM1"), None, 1),
+            entry(UserFailure::ConnectFailed, WorkloadTag::Random, Some("DM1"), None, 1),
+        ];
+        let table = packet_loss_by_packet_type(&tests);
+        assert_eq!(table.total(), 3);
+        assert!((table.percent("DM1") - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig3c_groups_by_app() {
+        let tests = vec![
+            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, Some("P2P"), 1),
+            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, Some("P2P"), 1),
+            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, Some("Web"), 1),
+        ];
+        let table = packet_loss_by_app(&tests);
+        assert!((table.percent("P2P") - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig4_by_host() {
+        let tests = vec![
+            entry(UserFailure::BindFailed, WorkloadTag::Realistic, None, None, 4),
+            entry(UserFailure::BindFailed, WorkloadTag::Realistic, None, None, 4),
+            entry(UserFailure::NapNotFound, WorkloadTag::Realistic, None, None, 2),
+        ];
+        let map = failures_by_host(&tests);
+        assert_eq!(map[&UserFailure::BindFailed].count("node4"), 2);
+        assert_eq!(map[&UserFailure::BindFailed].count("node2"), 0);
+        assert_eq!(map[&UserFailure::NapNotFound].count("node2"), 1);
+    }
+
+    #[test]
+    fn workload_split() {
+        let mut tests = vec![];
+        for _ in 0..84 {
+            tests.push(entry(UserFailure::PacketLoss, WorkloadTag::Random, None, None, 1));
+        }
+        for _ in 0..16 {
+            tests.push(entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, None, 1));
+        }
+        let t = failures_by_workload(&tests);
+        assert_eq!(t.percent("random"), 84.0);
+        assert_eq!(t.percent("realistic"), 16.0);
+    }
+
+    #[test]
+    fn distance_excludes_bind() {
+        let mut a = entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, None, 1);
+        a.distance_m = 0.5;
+        let mut b = entry(UserFailure::BindFailed, WorkloadTag::Realistic, None, None, 2);
+        b.distance_m = 7.0;
+        let t = failures_by_distance(&[a, b]);
+        assert_eq!(t.total(), 1);
+        assert_eq!(t.percent("0.5m"), 100.0);
+    }
+
+    #[test]
+    fn idle_comparison() {
+        let mut failed = entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, None, 1);
+        failed.idle_before_s = Some(27.3);
+        let (f, c) = idle_time_comparison(&[failed], &[26.9, 26.9]);
+        assert!((f - 27.3).abs() < 1e-9);
+        assert!((c - 26.9).abs() < 1e-9);
+        let (f0, c0) = idle_time_comparison(&[], &[]);
+        assert_eq!((f0, c0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn age_histogram_shape() {
+        let mut tests = Vec::new();
+        for age in [10u64, 50, 120, 300, 9_000] {
+            let mut e = entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DH5"), None, 1);
+            e.packets_sent_before = Some(age);
+            tests.push(e);
+        }
+        let h = AgeHistogram::from_tests(&tests, 1_000, 10_000);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.bins[0], 4);
+        assert_eq!(h.bins[9], 1);
+        assert!(h.young_dominated());
+        assert!((h.percent(0) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "align to bins")]
+    fn histogram_guards_alignment() {
+        let _ = AgeHistogram::from_tests(&[], 300, 1_000);
+    }
+}

@@ -1,0 +1,221 @@
+//! Analytic availability models fitted from the measured failure data.
+//!
+//! The paper's stated purpose for the failure model is that "researchers
+//! can use it to design abstract models useful for further analysis or
+//! synthesis". This module is one such model: a continuous-time Markov
+//! availability model with one down-state per failure type, fitted from
+//! the campaign's measured per-type failure rates and recovery times,
+//! whose closed-form steady-state availability can be checked against
+//! the simulation's direct measurement.
+//!
+//! States: `Up`, plus `Down_i` for each failure type *i*. Transitions
+//! `Up → Down_i` at rate `λ_i` (type-specific failure rate) and
+//! `Down_i → Up` at rate `μ_i = 1 / MTTR_i`. The stationary availability
+//! is the standard
+//!
+//! ```text
+//! A = 1 / (1 + Σ_i λ_i / μ_i)
+//! ```
+
+use btpan_faults::UserFailure;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One failure type's fitted parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TypeRates {
+    /// Failure rate `λ` in failures per second of uptime.
+    pub lambda: f64,
+    /// Repair rate `μ = 1 / MTTR` in recoveries per second.
+    pub mu: f64,
+}
+
+/// The fitted availability model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MarkovAvailability {
+    rates: BTreeMap<UserFailure, TypeRates>,
+}
+
+impl MarkovAvailability {
+    /// Builds an empty model.
+    pub fn new() -> Self {
+        MarkovAvailability::default()
+    }
+
+    /// Fits one failure type from campaign measurements: `count`
+    /// episodes over `uptime_s` seconds of uptime with mean recovery
+    /// time `mttr_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive uptime or MTTR with a non-zero count.
+    pub fn fit_type(&mut self, failure: UserFailure, count: u64, uptime_s: f64, mttr_s: f64) {
+        assert!(uptime_s > 0.0, "uptime must be positive");
+        if count == 0 {
+            return;
+        }
+        assert!(mttr_s > 0.0, "MTTR must be positive for observed failures");
+        self.rates.insert(
+            failure,
+            TypeRates {
+                lambda: count as f64 / uptime_s,
+                mu: 1.0 / mttr_s,
+            },
+        );
+    }
+
+    /// The fitted rates of one type.
+    pub fn rates(&self, failure: UserFailure) -> Option<TypeRates> {
+        self.rates.get(&failure).copied()
+    }
+
+    /// Number of fitted types.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True with no fitted types (availability is then 1).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Total failure rate `Σ λ_i` (per second of uptime) — the model's
+    /// `1 / MTTF`.
+    pub fn total_lambda(&self) -> f64 {
+        self.rates.values().map(|r| r.lambda).sum()
+    }
+
+    /// Model MTTF in seconds (`1 / Σ λ_i`).
+    pub fn mttf_s(&self) -> f64 {
+        let l = self.total_lambda();
+        if l > 0.0 {
+            1.0 / l
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mixture MTTR in seconds (`Σ (λ_i/Σλ) · 1/μ_i`).
+    pub fn mttr_s(&self) -> f64 {
+        let total = self.total_lambda();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.rates
+            .values()
+            .map(|r| (r.lambda / total) / r.mu)
+            .sum()
+    }
+
+    /// Closed-form steady-state availability.
+    pub fn availability(&self) -> f64 {
+        let downtime_ratio: f64 = self.rates.values().map(|r| r.lambda / r.mu).sum();
+        1.0 / (1.0 + downtime_ratio)
+    }
+
+    /// Availability if the given failure type were completely masked
+    /// (its `λ` removed) — the what-if analysis behind the paper's
+    /// masking strategy selection.
+    pub fn availability_without(&self, masked: UserFailure) -> f64 {
+        let downtime_ratio: f64 = self
+            .rates
+            .iter()
+            .filter(|(f, _)| **f != masked)
+            .map(|(_, r)| r.lambda / r.mu)
+            .sum();
+        1.0 / (1.0 + downtime_ratio)
+    }
+
+    /// Ranks failure types by their steady-state downtime contribution
+    /// `λ_i/μ_i`, descending — where masking effort pays most.
+    pub fn downtime_ranking(&self) -> Vec<(UserFailure, f64)> {
+        let mut v: Vec<(UserFailure, f64)> = self
+            .rates
+            .iter()
+            .map(|(f, r)| (*f, r.lambda / r.mu))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ratios"));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_closed_form() {
+        // Single type: A = MTTF / (MTTF + MTTR).
+        let mut m = MarkovAvailability::new();
+        // 100 failures over 63000 s uptime -> lambda = 1/630; MTTR 286 s.
+        m.fit_type(UserFailure::PacketLoss, 100, 63_000.0, 286.0);
+        let a = m.availability();
+        let expect = 630.0 / (630.0 + 286.0);
+        assert!((a - expect).abs() < 1e-12, "{a} vs {expect}");
+        assert!((m.mttf_s() - 630.0).abs() < 1e-9);
+        assert!((m.mttr_s() - 286.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_model_is_fully_available() {
+        let m = MarkovAvailability::new();
+        assert_eq!(m.availability(), 1.0);
+        assert!(m.is_empty());
+        assert!(m.mttf_s().is_infinite());
+        assert_eq!(m.mttr_s(), 0.0);
+    }
+
+    #[test]
+    fn masking_whatif_matches_refit() {
+        let mut m = MarkovAvailability::new();
+        m.fit_type(UserFailure::BindFailed, 379, 100_000.0, 43.0);
+        m.fit_type(UserFailure::PacketLoss, 334, 100_000.0, 99.0);
+        let without_bind = m.availability_without(UserFailure::BindFailed);
+        let mut refit = MarkovAvailability::new();
+        refit.fit_type(UserFailure::PacketLoss, 334, 100_000.0, 99.0);
+        assert!((without_bind - refit.availability()).abs() < 1e-12);
+        assert!(without_bind > m.availability());
+    }
+
+    #[test]
+    fn ranking_orders_by_downtime_share() {
+        let mut m = MarkovAvailability::new();
+        // Bind: frequent but quickly recovered.
+        m.fit_type(UserFailure::BindFailed, 1_000, 100_000.0, 5.0);
+        // Connect: rare but slow to recover.
+        m.fit_type(UserFailure::ConnectFailed, 100, 100_000.0, 200.0);
+        let ranking = m.downtime_ranking();
+        // bind: 0.01*5 = 0.05; connect: 0.001*200 = 0.2 -> connect first.
+        assert_eq!(ranking[0].0, UserFailure::ConnectFailed);
+        assert_eq!(ranking.len(), 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn zero_count_types_ignored() {
+        let mut m = MarkovAvailability::new();
+        m.fit_type(UserFailure::DataMismatch, 0, 1_000.0, 1.0);
+        assert!(m.is_empty());
+        assert!(m.rates(UserFailure::DataMismatch).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR must be positive")]
+    fn rejects_zero_mttr() {
+        let mut m = MarkovAvailability::new();
+        m.fit_type(UserFailure::PacketLoss, 5, 1_000.0, 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = MarkovAvailability::new();
+        m.fit_type(UserFailure::NapNotFound, 10, 5_000.0, 70.0);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MarkovAvailability = serde_json::from_str(&json).unwrap();
+        // Floats may round-trip with 1-ulp differences through JSON.
+        let a = back.rates(UserFailure::NapNotFound).unwrap();
+        let b = m.rates(UserFailure::NapNotFound).unwrap();
+        assert!((a.lambda - b.lambda).abs() < 1e-12);
+        assert!((a.mu - b.mu).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Redundant, overlapped piconets — the paper's fault-tolerance
+//! suggestion for critical deployments, evaluated.
+//!
+//! "In these critical scenarios, extensive fault tolerance techniques
+//! should be adopted, such as using redundant, overlapped piconets,
+//! other than SIRAs and masking." This module models a PANU that holds a
+//! standby association with a second NAP: failures whose scope is the
+//! *connection* (packet loss, connect/PAN/NAP-discovery failures,
+//! switch-role aborts) are absorbed by failing over to the standby
+//! piconet in a short failover time; failures whose scope is the *node*
+//! (bind/HAL trouble, data mismatch) still require local recovery.
+
+use crate::ttf::{FailureEpisode, NodeTimeline, TtfTtrSeries};
+use btpan_faults::UserFailure;
+use btpan_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Failover configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedundancyConfig {
+    /// Time to re-home a PANU onto the standby NAP (page + L2CAP + BNEP
+    /// on an already-discovered device).
+    pub failover: SimDuration,
+    /// Probability the standby piconet is itself available when needed.
+    pub standby_availability: f64,
+}
+
+impl Default for RedundancyConfig {
+    fn default() -> Self {
+        RedundancyConfig {
+            failover: SimDuration::from_secs(4),
+            standby_availability: 0.97,
+        }
+    }
+}
+
+impl RedundancyConfig {
+    /// Whether a failure of this type can be absorbed by switching
+    /// piconets (connection-scoped) or not (node-scoped).
+    pub fn absorbable(failure: UserFailure) -> bool {
+        !matches!(
+            failure,
+            UserFailure::BindFailed | UserFailure::DataMismatch
+        )
+    }
+}
+
+/// The outcome of replaying a timeline under redundancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyOutcome {
+    /// The rewritten timeline (same failures, shortened recoveries).
+    pub timeline: NodeTimeline,
+    /// Episodes absorbed by failover.
+    pub absorbed: u64,
+    /// Episodes that still needed their original recovery.
+    pub not_absorbed: u64,
+}
+
+/// Replays a measured node timeline as if a standby piconet had been
+/// available: absorbable failures recover in `failover` time (when the
+/// standby was up), the rest keep their measured recovery time.
+///
+/// The standby's own availability is applied deterministically by
+/// episode index (every k-th failover finds the standby down), keeping
+/// the replay reproducible without a seed.
+pub fn replay_with_redundancy(
+    timeline: &NodeTimeline,
+    config: RedundancyConfig,
+) -> RedundancyOutcome {
+    let period = if config.standby_availability >= 1.0 {
+        u64::MAX
+    } else {
+        // every `period`-th failover attempt finds the standby down
+        (1.0 / (1.0 - config.standby_availability)).round().max(1.0) as u64
+    };
+    let mut absorbed = 0;
+    let mut not_absorbed = 0;
+    let mut episodes = Vec::with_capacity(timeline.episodes.len());
+    let mut attempt = 0u64;
+    for e in &timeline.episodes {
+        let can_absorb = RedundancyConfig::absorbable(e.failure);
+        let standby_up = if can_absorb {
+            attempt += 1;
+            !attempt.is_multiple_of(period)
+        } else {
+            false
+        };
+        if can_absorb && standby_up && config.failover < e.ttr() {
+            absorbed += 1;
+            episodes.push(FailureEpisode {
+                failed_at: e.failed_at,
+                recovered_at: e.failed_at + config.failover,
+                failure: e.failure,
+            });
+        } else {
+            not_absorbed += 1;
+            episodes.push(*e);
+        }
+    }
+    RedundancyOutcome {
+        timeline: NodeTimeline::new(
+            timeline.node,
+            episodes,
+            timeline.started_at,
+            timeline.ended_at,
+        ),
+        absorbed,
+        not_absorbed,
+    }
+}
+
+/// Replays a whole set of timelines and pools the resulting series.
+pub fn pooled_series_with_redundancy(
+    timelines: &[NodeTimeline],
+    config: RedundancyConfig,
+) -> (TtfTtrSeries, u64, u64) {
+    let mut series = TtfTtrSeries::default();
+    let mut absorbed = 0;
+    let mut not_absorbed = 0;
+    for tl in timelines {
+        let out = replay_with_redundancy(tl, config);
+        series.extend(&out.timeline.series());
+        absorbed += out.absorbed;
+        not_absorbed += out.not_absorbed;
+    }
+    (series, absorbed, not_absorbed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_sim::time::SimTime;
+
+    fn ep(fail_s: u64, rec_s: u64, failure: UserFailure) -> FailureEpisode {
+        FailureEpisode {
+            failed_at: SimTime::from_secs(fail_s),
+            recovered_at: SimTime::from_secs(rec_s),
+            failure,
+        }
+    }
+
+    fn timeline(episodes: Vec<FailureEpisode>) -> NodeTimeline {
+        NodeTimeline::new(1, episodes, SimTime::ZERO, SimTime::from_secs(100_000))
+    }
+
+    #[test]
+    fn absorbable_failures_recover_in_failover_time() {
+        let tl = timeline(vec![ep(100, 400, UserFailure::PacketLoss)]);
+        let out = replay_with_redundancy(&tl, RedundancyConfig::default());
+        assert_eq!(out.absorbed, 1);
+        assert_eq!(out.timeline.episodes[0].ttr(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn node_scoped_failures_keep_their_recovery() {
+        let tl = timeline(vec![
+            ep(100, 200, UserFailure::BindFailed),
+            ep(500, 600, UserFailure::DataMismatch),
+        ]);
+        let out = replay_with_redundancy(&tl, RedundancyConfig::default());
+        assert_eq!(out.absorbed, 0);
+        assert_eq!(out.not_absorbed, 2);
+        assert_eq!(out.timeline.episodes, tl.episodes);
+    }
+
+    #[test]
+    fn failover_never_worse_than_original() {
+        // A failure whose measured recovery is already faster than the
+        // failover keeps the original.
+        let tl = timeline(vec![ep(100, 102, UserFailure::PacketLoss)]);
+        let out = replay_with_redundancy(&tl, RedundancyConfig::default());
+        assert_eq!(out.timeline.episodes[0].ttr(), SimDuration::from_secs(2));
+        assert_eq!(out.absorbed, 0);
+    }
+
+    #[test]
+    fn standby_downtime_applied_periodically() {
+        // availability 0.5 -> every 2nd failover finds the standby down.
+        let cfg = RedundancyConfig {
+            failover: SimDuration::from_secs(4),
+            standby_availability: 0.5,
+        };
+        let episodes: Vec<FailureEpisode> = (0..10)
+            .map(|i| ep(1_000 * (i + 1), 1_000 * (i + 1) + 300, UserFailure::ConnectFailed))
+            .collect();
+        let out = replay_with_redundancy(&timeline(episodes), cfg);
+        assert_eq!(out.absorbed, 5);
+        assert_eq!(out.not_absorbed, 5);
+    }
+
+    #[test]
+    fn redundancy_improves_availability() {
+        let episodes: Vec<FailureEpisode> = (0..50)
+            .map(|i| ep(1_000 * (i + 1), 1_000 * (i + 1) + 250, UserFailure::PacketLoss))
+            .collect();
+        let tl = timeline(episodes);
+        let base = tl.series();
+        let (red, absorbed, _) =
+            pooled_series_with_redundancy(&[tl], RedundancyConfig::default());
+        assert!(absorbed > 40);
+        let avail = |s: &TtfTtrSeries| {
+            let f = s.ttf_stats().mean().unwrap();
+            let r = s.ttr_stats().mean().unwrap();
+            f / (f + r)
+        };
+        assert!(avail(&red) > avail(&base) + 0.1, "{} vs {}", avail(&red), avail(&base));
+    }
+
+    #[test]
+    fn perfect_standby_absorbs_everything_absorbable() {
+        let cfg = RedundancyConfig {
+            failover: SimDuration::from_secs(1),
+            standby_availability: 1.0,
+        };
+        let episodes: Vec<FailureEpisode> = (0..20)
+            .map(|i| ep(1_000 * (i + 1), 1_000 * (i + 1) + 100, UserFailure::NapNotFound))
+            .collect();
+        let out = replay_with_redundancy(&timeline(episodes), cfg);
+        assert_eq!(out.absorbed, 20);
+    }
+}

@@ -1,0 +1,112 @@
+//! JSON experiment-evidence export.
+//!
+//! Each repro binary can emit a machine-readable record of what it
+//! measured, which EXPERIMENTS.md references as evidence.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One experiment's evidence record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"table4"` or `"fig3a"`.
+    pub id: String,
+    /// Campaign seed(s) used.
+    pub seeds: Vec<u64>,
+    /// Simulated duration in seconds.
+    pub simulated_seconds: f64,
+    /// Scalar measurements keyed by metric name.
+    pub metrics: BTreeMap<String, f64>,
+    /// Paper reference values keyed by the same names, where published.
+    pub paper: BTreeMap<String, f64>,
+    /// Free-form notes (substitutions, reconstruction caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for `id`.
+    pub fn new(id: &str) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            ..ExperimentReport::default()
+        }
+    }
+
+    /// Records a measured metric.
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut Self {
+        self.metrics.insert(name.to_string(), value);
+        self
+    }
+
+    /// Records a paper reference value.
+    pub fn reference(&mut self, name: &str, value: f64) -> &mut Self {
+        self.paper.insert(name.to_string(), value);
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        self.notes.push(text.to_string());
+        self
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Relative error of a metric against its paper reference, when both
+    /// exist.
+    pub fn relative_error(&self, name: &str) -> Option<f64> {
+        let m = self.metrics.get(name)?;
+        let p = self.paper.get(name)?;
+        (p.abs() > 1e-12).then(|| (m - p) / p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_round_trip() {
+        let mut r = ExperimentReport::new("table4");
+        r.metric("mttf_reboot_only", 650.0)
+            .reference("mttf_reboot_only", 630.56)
+            .note("substitution: simulated testbed");
+        r.seeds = vec![42];
+        r.simulated_seconds = 86_400.0;
+        let json = r.to_json();
+        let back = ExperimentReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(json.contains("mttf_reboot_only"));
+    }
+
+    #[test]
+    fn relative_error() {
+        let mut r = ExperimentReport::new("x");
+        r.metric("a", 110.0).reference("a", 100.0);
+        assert!((r.relative_error("a").unwrap() - 0.1).abs() < 1e-12);
+        assert!(r.relative_error("missing").is_none());
+        r.metric("z", 1.0).reference("z", 0.0);
+        assert!(r.relative_error("z").is_none());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ExperimentReport::from_json("{nope").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! ASCII table rendering for the repro binaries and EXPERIMENTS.md.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alignment {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// Formats one row given column widths and alignments.
+///
+/// # Panics
+///
+/// Panics if the lengths of `cells`, `widths` and `aligns` differ.
+pub fn format_row(cells: &[String], widths: &[usize], aligns: &[Alignment]) -> String {
+    assert_eq!(cells.len(), widths.len(), "cells vs widths");
+    assert_eq!(cells.len(), aligns.len(), "cells vs aligns");
+    let mut out = String::from("|");
+    for ((cell, &w), align) in cells.iter().zip(widths).zip(aligns) {
+        let cell = if cell.len() > w { &cell[..w] } else { cell };
+        match align {
+            Alignment::Left => out.push_str(&format!(" {cell:<w$} |")),
+            Alignment::Right => out.push_str(&format!(" {cell:>w$} |")),
+        }
+    }
+    out
+}
+
+/// Renders a full table with a header and separator.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let aligns: Vec<Alignment> = (0..cols)
+        .map(|i| if i == 0 { Alignment::Left } else { Alignment::Right })
+        .collect();
+    let mut out = String::new();
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&format_row(&header_cells, &widths, &aligns));
+    out.push('\n');
+    out.push('|');
+    for &w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row, &widths, &aligns));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a paper-vs-measured comparison table: each row is
+/// `(label, paper value, measured value)`; a delta column is computed.
+pub fn render_comparison(title: &str, rows: &[(String, f64, f64)]) -> String {
+    let mut table_rows = Vec::with_capacity(rows.len());
+    for (label, paper, measured) in rows {
+        let delta = if paper.abs() > 1e-12 {
+            format!("{:+.1}%", 100.0 * (measured - paper) / paper)
+        } else {
+            "-".to_string()
+        };
+        table_rows.push(vec![
+            label.clone(),
+            format!("{paper:.2}"),
+            format!("{measured:.2}"),
+            delta,
+        ]);
+    }
+    format!(
+        "## {title}\n{}",
+        render_table(&["metric", "paper", "measured", "delta"], &table_rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_alignment() {
+        let row = format_row(
+            &["ab".into(), "1".into()],
+            &[4, 5],
+            &[Alignment::Left, Alignment::Right],
+        );
+        assert_eq!(row, "| ab   |     1 |");
+    }
+
+    #[test]
+    fn table_renders_with_header() {
+        let out = render_table(
+            &["name", "value"],
+            &[vec!["x".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|-"));
+        assert!(lines[3].contains("22"));
+    }
+
+    #[test]
+    fn comparison_includes_delta() {
+        let out = render_comparison(
+            "Availability",
+            &[("A".into(), 0.688, 0.70), ("B".into(), 0.0, 1.0)],
+        );
+        assert!(out.contains("## Availability"));
+        assert!(out.contains("+1.7%"));
+        assert!(out.contains(" - "));
+    }
+
+    #[test]
+    fn long_cells_truncated() {
+        let row = format_row(
+            &["abcdefgh".into()],
+            &[4],
+            &[Alignment::Left],
+        );
+        assert_eq!(row, "| abcd |");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

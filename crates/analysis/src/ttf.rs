@@ -1,0 +1,213 @@
+//! Failure episodes and TTF/TTR series.
+//!
+//! The 24/7 workload makes time-to-failure and time-to-recover directly
+//! measurable: a node's timeline alternates uptime (ends at a failure
+//! manifestation) and downtime (the recovery). TTF of episode *i* is the
+//! uptime preceding it; TTR is its recovery duration.
+
+use btpan_faults::UserFailure;
+use btpan_sim::stats::RunningStats;
+use btpan_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One failure with its recovery span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEpisode {
+    /// When the failure manifested.
+    pub failed_at: SimTime,
+    /// When the node was back in service.
+    pub recovered_at: SimTime,
+    /// What failed.
+    pub failure: UserFailure,
+}
+
+impl FailureEpisode {
+    /// The episode's downtime.
+    pub fn ttr(&self) -> SimDuration {
+        self.recovered_at.since(self.failed_at)
+    }
+}
+
+/// A node's full campaign timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTimeline {
+    /// The node.
+    pub node: u64,
+    /// Episodes in time order.
+    pub episodes: Vec<FailureEpisode>,
+    /// Campaign start.
+    pub started_at: SimTime,
+    /// Campaign end.
+    pub ended_at: SimTime,
+}
+
+impl NodeTimeline {
+    /// Creates a timeline; validates ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if episodes are out of order, overlap, or fall outside the
+    /// campaign span.
+    pub fn new(
+        node: u64,
+        episodes: Vec<FailureEpisode>,
+        started_at: SimTime,
+        ended_at: SimTime,
+    ) -> Self {
+        assert!(started_at <= ended_at, "inverted campaign span");
+        let mut prev_end = started_at;
+        for e in &episodes {
+            assert!(e.failed_at >= prev_end, "episodes overlap or disorder");
+            assert!(e.recovered_at >= e.failed_at, "negative downtime");
+            assert!(e.recovered_at <= ended_at, "episode after campaign end");
+            prev_end = e.recovered_at;
+        }
+        NodeTimeline {
+            node,
+            episodes,
+            started_at,
+            ended_at,
+        }
+    }
+
+    /// Total uptime of the node.
+    pub fn uptime(&self) -> SimDuration {
+        self.span().saturating_sub(self.downtime())
+    }
+
+    /// Total downtime (sum of TTRs).
+    pub fn downtime(&self) -> SimDuration {
+        self.episodes.iter().map(FailureEpisode::ttr).sum()
+    }
+
+    /// Campaign span for this node.
+    pub fn span(&self) -> SimDuration {
+        self.ended_at.since(self.started_at)
+    }
+
+    /// Extracts the TTF/TTR series: TTF_i is the uptime between the
+    /// previous recovery (or campaign start) and failure *i*.
+    pub fn series(&self) -> TtfTtrSeries {
+        let mut ttf = Vec::with_capacity(self.episodes.len());
+        let mut ttr = Vec::with_capacity(self.episodes.len());
+        let mut prev_end = self.started_at;
+        for e in &self.episodes {
+            ttf.push(e.failed_at.since(prev_end));
+            ttr.push(e.ttr());
+            prev_end = e.recovered_at;
+        }
+        TtfTtrSeries { ttf, ttr }
+    }
+}
+
+/// Extracted TTF and TTR sample vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TtfTtrSeries {
+    /// Time-to-failure samples.
+    pub ttf: Vec<SimDuration>,
+    /// Time-to-recover samples.
+    pub ttr: Vec<SimDuration>,
+}
+
+impl TtfTtrSeries {
+    /// Merges another series into this one.
+    pub fn extend(&mut self, other: &TtfTtrSeries) {
+        self.ttf.extend_from_slice(&other.ttf);
+        self.ttr.extend_from_slice(&other.ttr);
+    }
+
+    /// Running stats of the TTF samples, in seconds.
+    pub fn ttf_stats(&self) -> RunningStats {
+        self.ttf.iter().map(|d| d.as_secs_f64()).collect()
+    }
+
+    /// Running stats of the TTR samples, in seconds.
+    pub fn ttr_stats(&self) -> RunningStats {
+        self.ttr.iter().map(|d| d.as_secs_f64()).collect()
+    }
+
+    /// Number of episodes in the series.
+    pub fn len(&self) -> usize {
+        self.ttf.len()
+    }
+
+    /// True when no episodes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ttf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(fail_s: u64, rec_s: u64) -> FailureEpisode {
+        FailureEpisode {
+            failed_at: SimTime::from_secs(fail_s),
+            recovered_at: SimTime::from_secs(rec_s),
+            failure: UserFailure::PacketLoss,
+        }
+    }
+
+    #[test]
+    fn series_partitions_the_timeline() {
+        let tl = NodeTimeline::new(
+            1,
+            vec![ep(100, 110), ep(200, 260)],
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
+        let s = tl.series();
+        assert_eq!(s.ttf, vec![SimDuration::from_secs(100), SimDuration::from_secs(90)]);
+        assert_eq!(s.ttr, vec![SimDuration::from_secs(10), SimDuration::from_secs(60)]);
+        // uptime + downtime == span
+        assert_eq!(tl.uptime() + tl.downtime(), tl.span());
+        assert_eq!(tl.downtime(), SimDuration::from_secs(70));
+    }
+
+    #[test]
+    fn empty_timeline_is_all_uptime() {
+        let tl = NodeTimeline::new(1, vec![], SimTime::ZERO, SimTime::from_secs(500));
+        assert_eq!(tl.uptime(), SimDuration::from_secs(500));
+        assert!(tl.series().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_episodes_rejected() {
+        let _ = NodeTimeline::new(
+            1,
+            vec![ep(100, 200), ep(150, 300)],
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "negative downtime")]
+    fn inverted_episode_rejected() {
+        let _ = NodeTimeline::new(1, vec![ep(200, 100)], SimTime::ZERO, SimTime::from_secs(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "after campaign end")]
+    fn episode_beyond_end_rejected() {
+        let _ = NodeTimeline::new(1, vec![ep(100, 2000)], SimTime::ZERO, SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn stats_and_merge() {
+        let tl1 = NodeTimeline::new(1, vec![ep(100, 110)], SimTime::ZERO, SimTime::from_secs(200));
+        let tl2 = NodeTimeline::new(2, vec![ep(50, 80)], SimTime::ZERO, SimTime::from_secs(200));
+        let mut s = tl1.series();
+        s.extend(&tl2.series());
+        assert_eq!(s.len(), 2);
+        let ttf = s.ttf_stats();
+        assert_eq!(ttf.count(), 2);
+        assert!((ttf.mean().unwrap() - 75.0).abs() < 1e-9);
+        let ttr = s.ttr_stats();
+        assert!((ttr.mean().unwrap() - 20.0).abs() < 1e-9);
+        assert_eq!(ttr.min(), Some(10.0));
+        assert_eq!(ttr.max(), Some(30.0));
+    }
+}

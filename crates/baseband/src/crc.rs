@@ -1,0 +1,160 @@
+//! CRC-16/CCITT payload check.
+//!
+//! The Bluetooth baseband appends a 16-bit CRC (polynomial `0x1021`,
+//! initial value derived from the device's UAP; we use `0x0000` as the
+//! paper's analysis is UAP-independent) to every ACL payload regardless
+//! of payload length. The paper (citing Paulitsch et al., DSN'05) points
+//! out the weakness exploited by correlated channel errors: a CRC-16
+//! detects *all* error bursts of length ≤ 16 bits, but longer bursts
+//! escape with probability ≈ 2⁻¹⁶ — the origin of the observed
+//! `Data mismatch` user failures.
+
+/// The CCITT generator polynomial x¹⁶ + x¹² + x⁵ + 1.
+pub const POLY: u16 = 0x1021;
+
+/// Computes the CRC-16/CCITT over `data` (MSB-first, init 0).
+///
+/// ```
+/// use btpan_baseband::crc::crc16;
+/// assert_eq!(crc16(b"123456789"), 0x31C3);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    crc16_with(0x0000, data)
+}
+
+/// Computes the CRC-16/CCITT continuing from `init` (for incremental
+/// checks over segmented payloads).
+pub fn crc16_with(init: u16, data: &[u8]) -> u16 {
+    let mut crc = init;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ POLY;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the CRC to a payload, producing the on-air payload body.
+pub fn append_crc(payload: &[u8]) -> Vec<u8> {
+    let crc = crc16(payload);
+    let mut out = Vec::with_capacity(payload.len() + 2);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Checks a received `payload ++ crc` body; returns the payload slice if
+/// the CRC matches.
+pub fn check_crc(body: &[u8]) -> Option<&[u8]> {
+    if body.len() < 2 {
+        return None;
+    }
+    let (payload, crc_bytes) = body.split_at(body.len() - 2);
+    let received = u16::from_be_bytes([crc_bytes[0], crc_bytes[1]]);
+    (crc16(payload) == received).then_some(payload)
+}
+
+/// Probability that a corrupted payload escapes CRC detection, given the
+/// length of the error burst in bits.
+///
+/// Exact CRC property: bursts of length ≤ 16 are always detected; a
+/// burst of exactly 17 bits escapes with probability 2⁻¹⁵; longer
+/// bursts escape with probability 2⁻¹⁶. (Standard results for a degree-16
+/// generator with a nonzero constant term.)
+pub fn undetected_probability(burst_bits: u32) -> f64 {
+    match burst_bits {
+        0 => 0.0,
+        1..=16 => 0.0,
+        17 => 1.0 / 32_768.0,
+        _ => 1.0 / 65_536.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC-16/XMODEM check value for "123456789".
+        assert_eq!(crc16(b"123456789"), 0x31C3);
+        assert_eq!(crc16(b""), 0x0000);
+        assert_eq!(crc16(b"A"), 0x58E5);
+    }
+
+    #[test]
+    fn append_then_check_round_trips() {
+        let body = append_crc(b"hello bluetooth");
+        assert_eq!(check_crc(&body), Some(b"hello bluetooth".as_ref()));
+    }
+
+    #[test]
+    fn detects_single_bit_flips_everywhere() {
+        let body = append_crc(b"payload under test");
+        for byte in 0..body.len() {
+            for bit in 0..8 {
+                let mut corrupted = body.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    check_crc(&corrupted).is_none(),
+                    "missed flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_all_short_bursts() {
+        // Any burst of <= 16 bits must be detected.
+        let body = append_crc(&[0u8; 32]);
+        let total_bits = body.len() * 8;
+        for burst_len in 1..=16usize {
+            for start in 0..(total_bits - burst_len) {
+                let mut corrupted = body.clone();
+                // Flip the boundary bits of the burst (a burst of length L
+                // has its first and last bit in error by definition).
+                let mut offsets = vec![0];
+                if burst_len > 1 {
+                    offsets.push(burst_len - 1);
+                }
+                for &offset in &offsets {
+                    let bit = start + offset;
+                    corrupted[bit / 8] ^= 1 << (bit % 8);
+                }
+                assert!(
+                    check_crc(&corrupted).is_none(),
+                    "missed burst len {burst_len} at {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_crc_matches_oneshot() {
+        let data = b"segmented payload over l2cap";
+        let whole = crc16(data);
+        let (a, b) = data.split_at(10);
+        let part = crc16_with(crc16(a), b);
+        assert_eq!(whole, part);
+    }
+
+    #[test]
+    fn check_rejects_truncated_body() {
+        assert!(check_crc(&[]).is_none());
+        assert!(check_crc(&[0x12]).is_none());
+    }
+
+    #[test]
+    fn undetected_probability_profile() {
+        assert_eq!(undetected_probability(0), 0.0);
+        assert_eq!(undetected_probability(8), 0.0);
+        assert_eq!(undetected_probability(16), 0.0);
+        assert!(undetected_probability(17) > undetected_probability(18));
+        assert!((undetected_probability(100) - 1.0 / 65536.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,289 @@
+//! Forward error correction codes of the Bluetooth baseband.
+//!
+//! * **2/3-rate FEC** — a shortened Hamming (15,10) code with generator
+//!   polynomial `g(D) = (D+1)(D⁴+D+1) = D⁵+D⁴+D²+1`, protecting the
+//!   payload of `DMx` packets. It corrects any single bit error per
+//!   15-bit codeword and detects double errors.
+//! * **1/3-rate FEC** — plain 3× bit repetition with majority vote,
+//!   protecting the 18-bit packet header of every packet type.
+//!
+//! The paper's key observation is that these codes assume *memoryless*
+//! channels: an error burst longer than one bit per codeword defeats the
+//! Hamming code, and three consecutive corrupted repetitions defeat the
+//! header vote — which is exactly what multi-path fading and ISM
+//! interference produce.
+
+/// Generator polynomial `D⁵+D⁴+D²+1` of the (15,10) shortened Hamming
+/// code, as a bit mask (LSB = constant term).
+pub const GENERATOR: u16 = 0b11_0101;
+
+/// Number of data bits per codeword.
+pub const DATA_BITS: u32 = 10;
+/// Number of bits per codeword on air.
+pub const CODE_BITS: u32 = 15;
+/// Number of parity bits per codeword.
+pub const PARITY_BITS: u32 = CODE_BITS - DATA_BITS;
+
+/// Result of decoding one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// Codeword arrived intact.
+    Clean(u16),
+    /// A single bit error was corrected; payload recovered.
+    Corrected(u16),
+    /// More than one error: detected but uncorrectable.
+    Uncorrectable,
+}
+
+impl Decoded {
+    /// The recovered data bits, if any.
+    pub fn data(self) -> Option<u16> {
+        match self {
+            Decoded::Clean(d) | Decoded::Corrected(d) => Some(d),
+            Decoded::Uncorrectable => None,
+        }
+    }
+}
+
+/// Polynomial remainder of `value` (bit-polynomial) modulo [`GENERATOR`].
+fn poly_rem(mut value: u32) -> u16 {
+    // degree of generator = 5
+    for bit in (PARITY_BITS..32).rev() {
+        if value & (1 << bit) != 0 {
+            value ^= u32::from(GENERATOR) << (bit - PARITY_BITS);
+        }
+    }
+    (value & 0x1F) as u16
+}
+
+/// Encodes 10 data bits into a 15-bit systematic codeword
+/// (`data << 5 | parity`).
+///
+/// # Panics
+///
+/// Panics if `data` has bits above bit 9 set.
+pub fn encode(data: u16) -> u16 {
+    assert!(data < (1 << DATA_BITS), "data exceeds 10 bits");
+    let shifted = u32::from(data) << PARITY_BITS;
+    let parity = poly_rem(shifted);
+    (data << PARITY_BITS) | parity
+}
+
+/// Syndrome of a received 15-bit word; zero means "consistent".
+pub fn syndrome(word: u16) -> u16 {
+    poly_rem(u32::from(word & 0x7FFF))
+}
+
+/// Decodes a 15-bit word, correcting at most one bit error.
+pub fn decode(word: u16) -> Decoded {
+    let word = word & 0x7FFF;
+    let s = syndrome(word);
+    if s == 0 {
+        return Decoded::Clean(word >> PARITY_BITS);
+    }
+    // Single-error syndromes: syndrome of a word with exactly bit i set.
+    for i in 0..CODE_BITS {
+        if syndrome(1 << i) == s {
+            let fixed = word ^ (1 << i);
+            return Decoded::Corrected(fixed >> PARITY_BITS);
+        }
+    }
+    Decoded::Uncorrectable
+}
+
+/// Encodes a byte slice into a sequence of codewords (10 data bits per
+/// codeword, zero-padded at the end).
+pub fn encode_bytes(data: &[u8]) -> Vec<u16> {
+    let total_bits = data.len() * 8;
+    let words = total_bits.div_ceil(DATA_BITS as usize);
+    let mut out = Vec::with_capacity(words);
+    for w in 0..words {
+        let mut chunk: u16 = 0;
+        for b in 0..DATA_BITS as usize {
+            let bit_index = w * DATA_BITS as usize + b;
+            if bit_index < total_bits {
+                let byte = data[bit_index / 8];
+                let bit = (byte >> (bit_index % 8)) & 1;
+                chunk |= u16::from(bit) << b;
+            }
+        }
+        out.push(encode(chunk));
+    }
+    out
+}
+
+/// Decodes a sequence of codewords back into `len` bytes.
+///
+/// Returns `None` if any codeword is uncorrectable or the codewords
+/// cannot cover `len` bytes.
+pub fn decode_bytes(words: &[u16], len: usize) -> Option<Vec<u8>> {
+    let needed = (len * 8).div_ceil(DATA_BITS as usize);
+    if words.len() < needed {
+        return None;
+    }
+    let mut bits = Vec::with_capacity(words.len() * DATA_BITS as usize);
+    for &w in words {
+        let data = decode(w).data()?;
+        for b in 0..DATA_BITS {
+            bits.push((data >> b) & 1 != 0);
+        }
+    }
+    let mut out = vec![0u8; len];
+    for (i, bit) in bits.iter().enumerate().take(len * 8) {
+        if *bit {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    Some(out)
+}
+
+/// Majority-vote decode of one 1/3-rate repetition-coded bit.
+///
+/// `votes` holds the three received copies.
+pub fn repetition_decode(votes: [bool; 3]) -> bool {
+    (votes[0] as u8 + votes[1] as u8 + votes[2] as u8) >= 2
+}
+
+/// Probability a repetition-coded bit decodes wrongly given per-bit error
+/// probability `p` (independent errors): `3p²(1−p) + p³`.
+pub fn repetition_error_probability(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    3.0 * p * p * (1.0 - p) + p * p * p
+}
+
+/// Probability a (15,10) codeword decodes correctly given per-bit error
+/// probability `p`: `(1−p)¹⁵ + 15·p·(1−p)¹⁴`.
+pub fn hamming_block_success_probability(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let q = 1.0 - p;
+    q.powi(15) + 15.0 * p * q.powi(14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_single_error_syndromes_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..CODE_BITS {
+            let s = syndrome(1 << i);
+            assert_ne!(s, 0, "bit {i} has zero syndrome");
+            assert!(seen.insert(s), "duplicate syndrome for bit {i}");
+        }
+    }
+
+    #[test]
+    fn encode_produces_zero_syndrome() {
+        for data in 0..(1u16 << DATA_BITS) {
+            assert_eq!(syndrome(encode(data)), 0, "data {data:#x}");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        for data in (0..(1u16 << DATA_BITS)).step_by(37) {
+            let cw = encode(data);
+            for bit in 0..CODE_BITS {
+                let corrupted = cw ^ (1 << bit);
+                match decode(corrupted) {
+                    Decoded::Corrected(d) => assert_eq!(d, data),
+                    Decoded::Clean(_) => panic!("flip at {bit} not noticed"),
+                    Decoded::Uncorrectable => panic!("flip at {bit} uncorrectable"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_errors_never_silently_wrong_data_or_detected() {
+        // A Hamming distance-4-ish shortened code: double errors must not
+        // decode to the *original* as Clean; they either get detected or
+        // miscorrected to some other word — but never accepted unchanged.
+        let data = 0b10_1100_1101;
+        let cw = encode(data);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                let corrupted = cw ^ (1 << a) ^ (1 << b);
+                match decode(corrupted) {
+                    Decoded::Clean(d) => assert_ne!(d, data, "double error invisible"),
+                    Decoded::Corrected(_) | Decoded::Uncorrectable => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 10 bits")]
+    fn encode_rejects_wide_data() {
+        let _ = encode(1 << 10);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let payload = b"DM5 payload goes through FEC";
+        let words = encode_bytes(payload);
+        assert_eq!(words.len(), (payload.len() * 8).div_ceil(10));
+        let back = decode_bytes(&words, payload.len()).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn byte_round_trip_with_correctable_noise() {
+        let payload = b"noise resistant";
+        let mut words = encode_bytes(payload);
+        for w in words.iter_mut() {
+            *w ^= 1 << 7; // one flip per codeword: all correctable
+        }
+        let back = decode_bytes(&words, payload.len()).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn byte_decode_corrupted_by_burst() {
+        // A 3-bit burst exceeds the code's correction power: the decoder
+        // either detects it (None) or miscorrects to *different* data —
+        // it must never return the original payload.
+        let payload = b"burst victim";
+        let mut words = encode_bytes(payload);
+        words[0] ^= 0b111; // 3-bit burst in one codeword
+        match decode_bytes(&words, payload.len()) {
+            None => {}
+            Some(decoded) => assert_ne!(decoded, payload),
+        }
+    }
+
+    #[test]
+    fn byte_decode_rejects_short_input() {
+        assert!(decode_bytes(&[], 4).is_none());
+    }
+
+    #[test]
+    fn repetition_majority() {
+        assert!(repetition_decode([true, true, false]));
+        assert!(repetition_decode([true, true, true]));
+        assert!(!repetition_decode([true, false, false]));
+        assert!(!repetition_decode([false, false, false]));
+    }
+
+    #[test]
+    fn repetition_error_probability_profile() {
+        assert_eq!(repetition_error_probability(0.0), 0.0);
+        assert!((repetition_error_probability(1.0) - 1.0).abs() < 1e-12);
+        // small p: ~3p^2
+        let p = 1e-3;
+        assert!((repetition_error_probability(p) - 3e-6).abs() < 1e-8);
+        // must be an improvement below p=0.5
+        assert!(repetition_error_probability(0.1) < 0.1);
+    }
+
+    #[test]
+    fn hamming_block_probability_profile() {
+        assert_eq!(hamming_block_success_probability(0.0), 1.0);
+        assert!(hamming_block_success_probability(1.0) < 1e-9);
+        // FEC beats uncoded for 15 bits at moderate BER
+        let p = 0.01;
+        let uncoded = (1.0f64 - p).powi(15);
+        assert!(hamming_block_success_probability(p) > uncoded);
+    }
+}

@@ -1,0 +1,44 @@
+//! # btpan-baseband
+//!
+//! Slot-level simulation of the Bluetooth 1.1 baseband layer: the
+//! physical substrate the DSN'06 Bluetooth-PAN failure study ran on.
+//!
+//! The paper's data-transfer failures (packet loss, data mismatch) are a
+//! direct consequence of baseband behaviour under correlated channel
+//! errors — CRC-16 and FEC assume memoryless channels, while the 2.4 GHz
+//! ISM band produces bursts (multi-path fading, interference). This crate
+//! reproduces that mechanism with:
+//!
+//! * [`packet`] — the six ACL packet types (DM1/3/5, DH1/3/5) with the
+//!   spec's slot counts and payload capacities;
+//! * [`crc`] — the real CRC-16/CCITT used by the baseband payload check;
+//! * [`fec`] — the shortened Hamming(15,10) 2/3-rate FEC of DM packets,
+//!   plus the 1/3-rate repetition code protecting packet headers;
+//! * [`channel`] — composable channel models: Gilbert–Elliott burst
+//!   process, distance path loss, ISM interferers tied to the hop
+//!   sequence;
+//! * [`hop`] — the 79-channel pseudo-random frequency hop sequence;
+//! * [`link`] — an ACL link with ARQ and a retransmission/flush limit,
+//!   simulated slot by slot;
+//! * [`piconet`] — master/slave TDD slot scheduling with up to seven
+//!   active slaves sharing the channel.
+//!
+//! Figure 3a of the paper (packet-loss share by packet type: single-slot
+//! and DMx packets lose more) *emerges* from this crate rather than being
+//! scripted — see `btpan-bench`'s `repro_fig3a`.
+
+pub mod channel;
+pub mod crc;
+pub mod fec;
+pub mod hop;
+pub mod link;
+pub mod packet;
+pub mod piconet;
+
+pub use channel::{
+    ChannelModel, ChannelState, CompositeChannel, GilbertElliott, Interferer, PathLoss,
+};
+pub use hop::HopSequence;
+pub use link::{AclLink, AttemptResult, LinkConfig, TransferOutcome};
+pub use packet::PacketType;
+pub use piconet::{Piconet, PiconetError, SlaveSlot};

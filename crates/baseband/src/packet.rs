@@ -1,0 +1,238 @@
+//! ACL baseband packet types.
+//!
+//! Bluetooth 1.1 defines six asymmetric connectionless (ACL) data packet
+//! types. `DMx` payloads are protected by 2/3-rate FEC (shortened
+//! Hamming(15,10)); `DHx` payloads are uncoded. A packet occupies 1, 3 or
+//! 5 consecutive 625 µs slots. All carry a 72-bit access code, an 18-bit
+//! header (sent with 1/3-rate repetition FEC, so 54 bits on air) and a
+//! 16-bit payload CRC.
+
+use btpan_sim::time::SimDuration;
+use std::fmt;
+use std::str::FromStr;
+
+/// Bits in the access code preamble + sync word + trailer.
+pub const ACCESS_CODE_BITS: u32 = 72;
+/// Bits in the packet header before FEC.
+pub const HEADER_BITS: u32 = 18;
+/// Bits of the header on air (1/3-rate repetition).
+pub const HEADER_BITS_ON_AIR: u32 = 54;
+/// Bits of payload CRC.
+pub const CRC_BITS: u32 = 16;
+
+/// The six ACL data packet types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PacketType {
+    /// 1 slot, FEC-coded payload, up to 17 bytes.
+    Dm1,
+    /// 1 slot, uncoded payload, up to 27 bytes.
+    Dh1,
+    /// 3 slots, FEC-coded payload, up to 121 bytes.
+    Dm3,
+    /// 3 slots, uncoded payload, up to 183 bytes.
+    Dh3,
+    /// 5 slots, FEC-coded payload, up to 224 bytes.
+    Dm5,
+    /// 5 slots, uncoded payload, up to 339 bytes.
+    Dh5,
+}
+
+impl PacketType {
+    /// All six types, in the conventional order.
+    pub const ALL: [PacketType; 6] = [
+        PacketType::Dm1,
+        PacketType::Dh1,
+        PacketType::Dm3,
+        PacketType::Dh3,
+        PacketType::Dm5,
+        PacketType::Dh5,
+    ];
+
+    /// Number of 625 µs slots the packet occupies.
+    pub const fn slots(self) -> u64 {
+        match self {
+            PacketType::Dm1 | PacketType::Dh1 => 1,
+            PacketType::Dm3 | PacketType::Dh3 => 3,
+            PacketType::Dm5 | PacketType::Dh5 => 5,
+        }
+    }
+
+    /// Maximum user payload in bytes (Bluetooth 1.1, Table 4.1).
+    pub const fn max_payload_bytes(self) -> u32 {
+        match self {
+            PacketType::Dm1 => 17,
+            PacketType::Dh1 => 27,
+            PacketType::Dm3 => 121,
+            PacketType::Dh3 => 183,
+            PacketType::Dm5 => 224,
+            PacketType::Dh5 => 339,
+        }
+    }
+
+    /// True for the FEC-protected (`DMx`) types.
+    pub const fn fec_coded(self) -> bool {
+        matches!(self, PacketType::Dm1 | PacketType::Dm3 | PacketType::Dm5)
+    }
+
+    /// Air time of one transmission attempt: the packet's slots plus one
+    /// return slot for the peer's ACK/NAK (a baseband ACK piggybacks on
+    /// the next return packet, which takes at least one slot).
+    pub fn attempt_air_time(self) -> SimDuration {
+        SimDuration::from_slots(self.slots() + 1)
+    }
+
+    /// Payload bits **on air** for a full packet, including CRC and FEC
+    /// expansion.
+    pub const fn payload_bits_on_air(self) -> u32 {
+        let data_bits = self.max_payload_bytes() * 8 + CRC_BITS;
+        if self.fec_coded() {
+            // 10 data bits become a 15-bit codeword.
+            data_bits.div_ceil(10) * 15
+        } else {
+            data_bits
+        }
+    }
+
+    /// Number of baseband packets (payloads) needed to carry `bytes`
+    /// user bytes when each packet is filled to capacity.
+    pub const fn packets_for(self, bytes: u64) -> u64 {
+        let cap = self.max_payload_bytes() as u64;
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(cap)
+        }
+    }
+
+    /// Peak user throughput in bytes per second of channel time
+    /// (one attempt = `slots + 1` slot times, 625 µs per slot).
+    pub fn peak_throughput_bps(self) -> f64 {
+        let bytes = self.max_payload_bytes() as f64;
+        let secs = (self.slots() + 1) as f64 * 625e-6;
+        bytes / secs
+    }
+}
+
+impl fmt::Display for PacketType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketType::Dm1 => "DM1",
+            PacketType::Dh1 => "DH1",
+            PacketType::Dm3 => "DM3",
+            PacketType::Dh3 => "DH3",
+            PacketType::Dm5 => "DM5",
+            PacketType::Dh5 => "DH5",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned by [`PacketType::from_str`] for an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePacketTypeError(String);
+
+impl fmt::Display for ParsePacketTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown packet type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePacketTypeError {}
+
+impl FromStr for PacketType {
+    type Err = ParsePacketTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "DM1" => Ok(PacketType::Dm1),
+            "DH1" => Ok(PacketType::Dh1),
+            "DM3" => Ok(PacketType::Dm3),
+            "DH3" => Ok(PacketType::Dh3),
+            "DM5" => Ok(PacketType::Dm5),
+            "DH5" => Ok(PacketType::Dh5),
+            other => Err(ParsePacketTypeError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_slot_counts() {
+        assert_eq!(PacketType::Dm1.slots(), 1);
+        assert_eq!(PacketType::Dh1.slots(), 1);
+        assert_eq!(PacketType::Dm3.slots(), 3);
+        assert_eq!(PacketType::Dh3.slots(), 3);
+        assert_eq!(PacketType::Dm5.slots(), 5);
+        assert_eq!(PacketType::Dh5.slots(), 5);
+    }
+
+    #[test]
+    fn spec_payload_capacities() {
+        let caps: Vec<u32> = PacketType::ALL.iter().map(|p| p.max_payload_bytes()).collect();
+        assert_eq!(caps, vec![17, 27, 121, 183, 224, 339]);
+    }
+
+    #[test]
+    fn fec_flags() {
+        assert!(PacketType::Dm1.fec_coded());
+        assert!(PacketType::Dm3.fec_coded());
+        assert!(PacketType::Dm5.fec_coded());
+        assert!(!PacketType::Dh1.fec_coded());
+        assert!(!PacketType::Dh5.fec_coded());
+    }
+
+    #[test]
+    fn dm_on_air_bits_expand_by_3_over_2() {
+        // DM1: 17*8+16 = 152 data bits -> 16 codewords -> 240 bits.
+        assert_eq!(PacketType::Dm1.payload_bits_on_air(), 240);
+        // DH1: 27*8+16 = 232 bits, uncoded.
+        assert_eq!(PacketType::Dh1.payload_bits_on_air(), 232);
+    }
+
+    #[test]
+    fn packets_for_bnep_mtu() {
+        // 1691-byte BNEP MTU (the paper's Fig. 3b experiment size).
+        assert_eq!(PacketType::Dm1.packets_for(1691), 100);
+        assert_eq!(PacketType::Dh1.packets_for(1691), 63);
+        assert_eq!(PacketType::Dm3.packets_for(1691), 14);
+        assert_eq!(PacketType::Dh3.packets_for(1691), 10);
+        assert_eq!(PacketType::Dm5.packets_for(1691), 8);
+        assert_eq!(PacketType::Dh5.packets_for(1691), 5);
+        assert_eq!(PacketType::Dh5.packets_for(0), 0);
+    }
+
+    #[test]
+    fn dh5_has_best_throughput() {
+        let t: Vec<f64> = PacketType::ALL.iter().map(|p| p.peak_throughput_bps()).collect();
+        let dh5 = PacketType::Dh5.peak_throughput_bps();
+        assert!(t.iter().all(|&x| x <= dh5));
+        // DH5: 339 bytes / 3.75 ms = 90.4 kB/s
+        assert!((dh5 - 90_400.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn attempt_air_time_includes_return_slot() {
+        assert_eq!(
+            PacketType::Dh5.attempt_air_time(),
+            SimDuration::from_slots(6)
+        );
+        assert_eq!(
+            PacketType::Dm1.attempt_air_time(),
+            SimDuration::from_slots(2)
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for pt in PacketType::ALL {
+            let parsed: PacketType = pt.to_string().parse().unwrap();
+            assert_eq!(parsed, pt);
+        }
+        assert!("dm1".parse::<PacketType>().is_ok());
+        let err = "DX9".parse::<PacketType>().unwrap_err();
+        assert!(err.to_string().contains("DX9"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Piconet membership and TDD slot allocation.
+//!
+//! A piconet has one master and up to seven *active* slaves, each holding
+//! a 3-bit active member address (`AM_ADDR`). The master polls slaves in
+//! a round-robin TDD schedule, so concurrently active ACL transfers share
+//! the 1600 slots/s — the contention model the PAN testbed lives under
+//! (the NAP `Giallo` is the master; the six PANUs are slaves).
+//!
+//! The PAN profile's *role switch* matters here: a PANU initiating a
+//! connection is initially master and must hand the master role to the
+//! NAP so the NAP can keep serving up to seven PANUs; the stack layer
+//! drives that procedure, while this module enforces the invariant that
+//! membership and addressing stay consistent.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum number of active slaves (3-bit AM_ADDR, 0 reserved for
+/// broadcast).
+pub const MAX_ACTIVE_SLAVES: usize = 7;
+
+/// A slave's 3-bit active member address (1–7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlaveSlot(u8);
+
+impl SlaveSlot {
+    /// The raw AM_ADDR value (1–7).
+    pub fn am_addr(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for SlaveSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AM_ADDR {}", self.0)
+    }
+}
+
+/// Errors from piconet membership operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PiconetError {
+    /// All seven active member addresses are taken.
+    Full,
+    /// The device is already an active member.
+    AlreadyJoined,
+    /// The referenced device is not a member.
+    NotAMember,
+}
+
+impl fmt::Display for PiconetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiconetError::Full => write!(f, "piconet already has 7 active slaves"),
+            PiconetError::AlreadyJoined => write!(f, "device is already an active member"),
+            PiconetError::NotAMember => write!(f, "device is not a piconet member"),
+        }
+    }
+}
+
+impl std::error::Error for PiconetError {}
+
+/// A piconet: one master plus up to seven addressed active slaves.
+///
+/// Devices are identified by a caller-chosen `u64` (e.g. the node id of
+/// the testbed).
+#[derive(Debug, Clone)]
+pub struct Piconet {
+    master: u64,
+    /// AM_ADDR → device id.
+    slaves: BTreeMap<u8, u64>,
+    /// Devices with a transfer in flight (affects slot shares).
+    active_transfers: BTreeMap<u64, ()>,
+}
+
+impl Piconet {
+    /// Creates a piconet mastered by `master`.
+    pub fn new(master: u64) -> Self {
+        Piconet {
+            master,
+            slaves: BTreeMap::new(),
+            active_transfers: BTreeMap::new(),
+        }
+    }
+
+    /// The current master's device id.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Number of active slaves.
+    pub fn slave_count(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// True if `device` is an active slave.
+    pub fn is_slave(&self, device: u64) -> bool {
+        self.slaves.values().any(|&d| d == device)
+    }
+
+    /// Admits a slave, assigning the lowest free AM_ADDR.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the piconet is full or the device already joined.
+    pub fn join(&mut self, device: u64) -> Result<SlaveSlot, PiconetError> {
+        if self.is_slave(device) || device == self.master {
+            return Err(PiconetError::AlreadyJoined);
+        }
+        let free = (1..=MAX_ACTIVE_SLAVES as u8).find(|a| !self.slaves.contains_key(a));
+        match free {
+            Some(addr) => {
+                self.slaves.insert(addr, device);
+                Ok(SlaveSlot(addr))
+            }
+            None => Err(PiconetError::Full),
+        }
+    }
+
+    /// Removes a slave (disconnect or supervision timeout).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the device is not a member.
+    pub fn leave(&mut self, device: u64) -> Result<(), PiconetError> {
+        let addr = self
+            .slaves
+            .iter()
+            .find_map(|(&a, &d)| (d == device).then_some(a))
+            .ok_or(PiconetError::NotAMember)?;
+        self.slaves.remove(&addr);
+        self.active_transfers.remove(&device);
+        Ok(())
+    }
+
+    /// Performs the PAN-profile master/slave switch: `new_master` (a
+    /// current slave) becomes the master and the old master becomes a
+    /// slave keeping the vacated AM_ADDR.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `new_master` is not an active slave.
+    pub fn switch_role(&mut self, new_master: u64) -> Result<(), PiconetError> {
+        let addr = self
+            .slaves
+            .iter()
+            .find_map(|(&a, &d)| (d == new_master).then_some(a))
+            .ok_or(PiconetError::NotAMember)?;
+        let old_master = self.master;
+        self.slaves.remove(&addr);
+        self.slaves.insert(addr, old_master);
+        self.master = new_master;
+        Ok(())
+    }
+
+    /// Marks a slave's transfer as started (it now competes for slots).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the device is not a member.
+    pub fn begin_transfer(&mut self, device: u64) -> Result<(), PiconetError> {
+        if !self.is_slave(device) {
+            return Err(PiconetError::NotAMember);
+        }
+        self.active_transfers.insert(device, ());
+        Ok(())
+    }
+
+    /// Marks a slave's transfer as finished.
+    pub fn end_transfer(&mut self, device: u64) {
+        self.active_transfers.remove(&device);
+    }
+
+    /// Number of transfers currently competing for slots.
+    pub fn active_transfer_count(&self) -> usize {
+        self.active_transfers.len()
+    }
+
+    /// The TDD slot share granted to `device` for a new or ongoing
+    /// transfer: `1 / max(1, concurrent transfers including this one)`.
+    pub fn slot_share_for(&self, device: u64) -> f64 {
+        let mut n = self.active_transfer_count();
+        if !self.active_transfers.contains_key(&device) {
+            n += 1;
+        }
+        1.0 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_assigns_sequential_addresses() {
+        let mut p = Piconet::new(100);
+        let s1 = p.join(1).unwrap();
+        let s2 = p.join(2).unwrap();
+        assert_eq!(s1.am_addr(), 1);
+        assert_eq!(s2.am_addr(), 2);
+        assert_eq!(p.slave_count(), 2);
+    }
+
+    #[test]
+    fn eighth_slave_rejected() {
+        let mut p = Piconet::new(100);
+        for d in 1..=7 {
+            p.join(d).unwrap();
+        }
+        assert_eq!(p.join(8), Err(PiconetError::Full));
+        assert_eq!(p.slave_count(), 7);
+    }
+
+    #[test]
+    fn rejoin_rejected() {
+        let mut p = Piconet::new(100);
+        p.join(1).unwrap();
+        assert_eq!(p.join(1), Err(PiconetError::AlreadyJoined));
+        assert_eq!(p.join(100), Err(PiconetError::AlreadyJoined));
+    }
+
+    #[test]
+    fn leave_frees_address_for_reuse() {
+        let mut p = Piconet::new(100);
+        p.join(1).unwrap();
+        p.join(2).unwrap();
+        p.leave(1).unwrap();
+        assert!(!p.is_slave(1));
+        let s = p.join(3).unwrap();
+        assert_eq!(s.am_addr(), 1, "freed AM_ADDR reused");
+        assert_eq!(p.leave(42), Err(PiconetError::NotAMember));
+    }
+
+    #[test]
+    fn role_switch_swaps_master_and_slave() {
+        // PAN profile: PANU connects as master, then switches so the NAP
+        // masters the piconet.
+        let mut p = Piconet::new(7); // PANU currently master
+        p.join(100).unwrap(); // NAP joined as slave
+        p.switch_role(100).unwrap();
+        assert_eq!(p.master(), 100);
+        assert!(p.is_slave(7));
+        assert_eq!(p.slave_count(), 1);
+        assert_eq!(p.switch_role(999), Err(PiconetError::NotAMember));
+    }
+
+    #[test]
+    fn slot_share_divides_among_active_transfers() {
+        let mut p = Piconet::new(100);
+        for d in 1..=4 {
+            p.join(d).unwrap();
+        }
+        assert_eq!(p.slot_share_for(1), 1.0);
+        p.begin_transfer(1).unwrap();
+        assert_eq!(p.slot_share_for(1), 1.0);
+        p.begin_transfer(2).unwrap();
+        assert_eq!(p.slot_share_for(1), 0.5);
+        // A third, not-yet-started transfer sees a 1/3 share.
+        assert!((p.slot_share_for(3) - 1.0 / 3.0).abs() < 1e-12);
+        p.end_transfer(1);
+        assert_eq!(p.slot_share_for(2), 1.0);
+    }
+
+    #[test]
+    fn transfer_bookkeeping_requires_membership() {
+        let mut p = Piconet::new(100);
+        assert_eq!(p.begin_transfer(5), Err(PiconetError::NotAMember));
+        p.join(5).unwrap();
+        p.begin_transfer(5).unwrap();
+        p.leave(5).unwrap();
+        assert_eq!(p.active_transfer_count(), 0, "leave clears transfers");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PiconetError::Full.to_string().contains("7 active"));
+        assert!(PiconetError::NotAMember.to_string().contains("not a"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! 1. **Burstiness**: the Fig. 3a mechanism requires a *correlated*
+//!    error channel. A memoryless channel with the same average BER
+//!    produces a drastically different (much lower, flatter) per-payload
+//!    drop profile — measured here side by side.
+//! 2. **Latent-fault model**: disabling it collapses the MTTF gap
+//!    between recovery policies (the paper's Table 4 SIRA gain).
+
+use btpan_baseband::channel::{GilbertElliott, MemorylessChannel};
+use btpan_baseband::hop::HopSequence;
+use btpan_baseband::link::{DropProfile, LinkConfig};
+use btpan_baseband::packet::PacketType;
+use btpan_core::campaign::{Campaign, CampaignConfig};
+use btpan_recovery::RecoveryPolicy;
+use btpan_sim::prelude::*;
+use btpan_sim::time::SimDuration;
+use btpan_workload::WorkloadKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("bursty_channel_drop_profile", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(8);
+            let p = DropProfile::calibrate(
+                LinkConfig::new(PacketType::Dh1).retry_limit(4),
+                GilbertElliott::new(1e-2, 0.08, 5e-6, 0.12),
+                HopSequence::new(13),
+                40_000,
+                &mut rng,
+            );
+            black_box(p.p_drop)
+        })
+    });
+    group.bench_function("memoryless_channel_drop_profile", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(8);
+            let ge = GilbertElliott::new(1e-2, 0.08, 5e-6, 0.12);
+            let p = DropProfile::calibrate(
+                LinkConfig::new(PacketType::Dh1).retry_limit(4),
+                MemorylessChannel::matching(&ge),
+                HopSequence::new(13),
+                40_000,
+                &mut rng,
+            );
+            black_box(p.p_drop)
+        })
+    });
+    group.bench_function("campaign_without_latent_model", |b| {
+        b.iter(|| {
+            let mut cfg =
+                CampaignConfig::paper(10, WorkloadKind::Random, RecoveryPolicy::RebootOnly)
+                    .duration(SimDuration::from_secs(3_600));
+            cfg.latent.p_latent = 0.0;
+            black_box(Campaign::new(cfg).run().failure_count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

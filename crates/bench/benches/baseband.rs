@@ -1,0 +1,45 @@
+//! Bench (Fig. 3a machinery): slot-fidelity ACL link simulation and
+//! drop-profile calibration per packet type.
+
+use btpan_baseband::channel::GilbertElliott;
+use btpan_baseband::hop::HopSequence;
+use btpan_baseband::link::{AclLink, DropProfile, LinkConfig};
+use btpan_baseband::packet::PacketType;
+use btpan_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseband");
+    for pt in [PacketType::Dm1, PacketType::Dh5] {
+        group.bench_function(format!("send_10k_payloads_{pt}"), |b| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from(4);
+                let mut link = AclLink::new(
+                    LinkConfig::new(pt).retry_limit(4),
+                    GilbertElliott::new(1e-2, 0.08, 5e-6, 0.12),
+                    HopSequence::new(11),
+                );
+                black_box(link.send_payloads(10_000, &mut rng).payloads_delivered)
+            })
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("drop_profile_calibration_dh1_60k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(5);
+            let p = DropProfile::calibrate(
+                LinkConfig::new(PacketType::Dh1).retry_limit(4),
+                GilbertElliott::new(1e-2, 0.08, 5e-6, 0.12),
+                HopSequence::new(12),
+                60_000,
+                &mut rng,
+            );
+            black_box(p.p_drop)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench (Tables 4 / Fig. 3b driver): full campaign simulation
+//! throughput per policy.
+
+use btpan_core::campaign::{Campaign, CampaignConfig};
+use btpan_recovery::RecoveryPolicy;
+use btpan_sim::time::SimDuration;
+use btpan_workload::WorkloadKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for policy in [RecoveryPolicy::Siras, RecoveryPolicy::SirasAndMasking] {
+        group.bench_function(format!("1h_random_{policy:?}"), |b| {
+            b.iter(|| {
+                let r = Campaign::new(
+                    CampaignConfig::paper(9, WorkloadKind::Random, policy)
+                        .duration(SimDuration::from_secs(3_600)),
+                )
+                .run();
+                black_box(r.cycles_run)
+            })
+        });
+    }
+    group.bench_function("1h_realistic_Siras", |b| {
+        b.iter(|| {
+            let r = Campaign::new(
+                CampaignConfig::paper(9, WorkloadKind::Realistic, RecoveryPolicy::Siras)
+                    .duration(SimDuration::from_secs(3_600)),
+            )
+            .run();
+            black_box(r.cycles_run)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

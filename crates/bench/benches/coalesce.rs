@@ -1,0 +1,46 @@
+//! Bench (Fig. 2 machinery): tupling coalescence and the window
+//! sensitivity sweep over a realistic log volume.
+
+use btpan_collect::coalesce::coalesce;
+use btpan_collect::entry::{LogRecord, SystemLogEntry};
+use btpan_collect::sensitivity::SensitivityCurve;
+use btpan_faults::SystemFault;
+use btpan_sim::prelude::*;
+use btpan_sim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_log(n: usize) -> Vec<LogRecord> {
+    let mut rng = SimRng::seed_from(1);
+    let mut t = 0.0;
+    (0..n as u64)
+        .map(|seq| {
+            t += Exponential::from_mean(40.0).unwrap().sample(&mut rng);
+            LogRecord::from_system(
+                seq,
+                SystemLogEntry::new(
+                    SimTime::ZERO + SimDuration::from_secs_f64(t),
+                    1,
+                    SystemFault::HciCommandTimeout,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let records = synthetic_log(20_000);
+    c.bench_function("coalesce/20k_records_window330", |b| {
+        b.iter(|| black_box(coalesce(&records, SimDuration::from_secs(330)).len()))
+    });
+    let small = synthetic_log(2_000);
+    c.bench_function("coalesce/sensitivity_sweep_2k_x30", |b| {
+        b.iter(|| {
+            let curve = SensitivityCurve::sweep(&small, 1.0, 10_000.0, 30);
+            black_box(curve.knee())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

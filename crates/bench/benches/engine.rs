@@ -1,0 +1,31 @@
+//! Bench: discrete-event engine throughput (substrate for everything).
+
+use btpan_sim::engine::{Engine, EventHandler, Scheduler};
+use btpan_sim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct Ping(u64);
+impl EventHandler<u32> for Ping {
+    fn handle(&mut self, _now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+        self.0 += 1;
+        if self.0 < 100_000 {
+            s.schedule_after(SimDuration::from_micros(625), ev);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("engine/100k_chained_events", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            engine.scheduler().schedule_at(SimTime::ZERO, 1u32);
+            let mut world = Ping(0);
+            engine.run_until(SimTime::from_secs(1_000_000), &mut world);
+            black_box(world.0)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Bench (Table 2 machinery): building the error-failure relationship
+//! matrix from per-node merged logs.
+
+use btpan_collect::entry::{LogRecord, SystemLogEntry, TestLogEntry, WorkloadTag};
+use btpan_collect::relate::RelationshipMatrix;
+use btpan_faults::{SystemFault, UserFailure};
+use btpan_sim::prelude::*;
+use btpan_sim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn node_stream(node: u64, failures: usize) -> (u64, Vec<LogRecord>) {
+    let mut rng = SimRng::seed_from(node);
+    let mut records = Vec::new();
+    let mut seq = 0;
+    for i in 0..failures {
+        let at = (i as u64 + 1) * 900;
+        for k in 0..6u64 {
+            records.push(LogRecord::from_system(
+                seq,
+                SystemLogEntry::new(
+                    SimTime::from_secs(at - rng.uniform_u64(1, 300)),
+                    node,
+                    if k % 2 == 0 {
+                        SystemFault::HciCommandTimeout
+                    } else {
+                        SystemFault::L2capUnexpectedFrame
+                    },
+                ),
+            ));
+            seq += 1;
+        }
+        records.push(LogRecord::from_test(
+            seq,
+            TestLogEntry {
+                at: SimTime::from_secs(at),
+                node,
+                failure: UserFailure::ConnectFailed,
+                workload: WorkloadTag::Random,
+                packet_type: None,
+                packets_sent_before: None,
+                app: None,
+                distance_m: 5.0,
+                idle_before_s: None,
+            },
+        ));
+        seq += 1;
+    }
+    records.sort();
+    (node, records)
+}
+
+fn bench(c: &mut Criterion) {
+    let streams: Vec<_> = (1..=6).map(|n| node_stream(n, 300)).collect();
+    c.bench_function("relate/6_nodes_x300_failures", |b| {
+        b.iter(|| {
+            let m = RelationshipMatrix::from_node_logs(
+                &streams,
+                &[],
+                0,
+                SimDuration::from_secs(330),
+            );
+            black_box(m.grand_total())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench (Table 3 machinery): SIRA cascade execution.
+
+use btpan_faults::UserFailure;
+use btpan_recovery::executor::execute_cascade;
+use btpan_recovery::sira::SiraCosts;
+use btpan_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let costs = SiraCosts::default();
+    c.bench_function("sira/cascade_10k_mixed_failures", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(3);
+            let mut total = 0.0;
+            for i in 0..10_000 {
+                let f = UserFailure::ALL[i % 10];
+                total += execute_cascade(f, &costs, i % 3 == 0, &mut rng)
+                    .duration
+                    .as_secs_f64();
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

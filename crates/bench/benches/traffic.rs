@@ -1,0 +1,34 @@
+//! Bench (Fig. 3c machinery): workload plan generation.
+
+use btpan_sim::prelude::*;
+use btpan_workload::{RandomWorkload, RealisticWorkload, WorkloadModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("workload/random_10k_plans", |b| {
+        b.iter(|| {
+            let wl = RandomWorkload::paper();
+            let mut rng = SimRng::seed_from(6);
+            let mut bytes = 0;
+            for _ in 0..10_000 {
+                bytes += wl.next_connection(&mut rng).total_bytes();
+            }
+            black_box(bytes)
+        })
+    });
+    c.bench_function("workload/realistic_10k_plans", |b| {
+        b.iter(|| {
+            let wl = RealisticWorkload::paper();
+            let mut rng = SimRng::seed_from(7);
+            let mut bytes = 0;
+            for _ in 0..10_000 {
+                bytes += wl.next_connection(&mut rng).total_bytes();
+            }
+            black_box(bytes)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

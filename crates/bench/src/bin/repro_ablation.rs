@@ -1,0 +1,124 @@
+//! Ablation experiments for the design choices DESIGN.md calls out:
+//!
+//! 1. **burstiness** — replace the Gilbert–Elliott channel with a
+//!    memoryless one of equal average BER: the per-payload drop profile
+//!    collapses and Fig. 3a's packet-type differentiation disappears;
+//! 2. **latent-fault model off** — the MTTF separation between
+//!    reboot-only and SIRA policies shrinks (Table 4's mechanism);
+//! 3. **coalescence window** — running Table 2 at 30 s (truncation) and
+//!    3000 s (collapse) degrades cause attribution versus 330 s.
+
+use btpan_baseband::channel::{GilbertElliott, MemorylessChannel};
+use btpan_baseband::hop::HopSequence;
+use btpan_baseband::link::{DropProfile, LinkConfig};
+use btpan_baseband::packet::PacketType;
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::campaign::{Campaign, CampaignConfig};
+use btpan_core::experiment::table2;
+use btpan_core::prelude::WorkloadKind;
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+use btpan_recovery::RecoveryPolicy;
+use btpan_sim::prelude::*;
+use btpan_sim::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Ablations", "burstiness / latent faults / window choice", &scale);
+
+    // --- 1. burstiness ---------------------------------------------------
+    println!("1. channel burstiness (per-payload drop probability, 120k payloads):");
+    println!("{:>6} {:>14} {:>14}", "type", "bursty", "memoryless");
+    let rng = SimRng::seed_from(0xAB1);
+    for pt in PacketType::ALL {
+        let ge = GilbertElliott::new(1e-2, 0.08, 5e-6, 0.12);
+        let bursty = DropProfile::calibrate(
+            LinkConfig::new(pt).retry_limit(4),
+            ge.clone(),
+            HopSequence::new(1),
+            120_000,
+            &mut rng.fork_indexed("b", pt.slots()),
+        );
+        let flat = DropProfile::calibrate(
+            LinkConfig::new(pt).retry_limit(4),
+            MemorylessChannel::matching(&ge),
+            HopSequence::new(1),
+            120_000,
+            &mut rng.fork_indexed("m", pt.slots()),
+        );
+        println!("{pt:>6} {:>14.6} {:>14.6}", bursty.p_drop, flat.p_drop);
+    }
+    println!("   -> correlated bursts concentrate the errors: most payloads see a");
+    println!("      clean channel and only burst-struck ones retry to exhaustion,");
+    println!("      giving the mild, payload-size-ordered profile of Fig. 3a. A");
+    println!("      memoryless channel at the SAME average BER smears errors over");
+    println!("      every packet: uncoded types drop constantly and the ordering");
+    println!("      inverts (FEC wins) — the observed field behaviour needs bursts.\n");
+
+    // --- 2. latent faults off ---------------------------------------------
+    println!("2. latent/rejuvenation model (policy MTTF gap, 96 h Random WL):");
+    let mttf = |enabled: bool, policy: RecoveryPolicy| {
+        let mut cfg = CampaignConfig::paper(77, WorkloadKind::Random, policy)
+            .duration(SimDuration::from_secs(96 * 3600));
+        if !enabled {
+            cfg.latent.p_latent = 0.0;
+            cfg.latent.post_scale = 0.0;
+        }
+        let r = Campaign::new(cfg).run();
+        r.piconet_series().ttf_stats().mean().unwrap_or(0.0)
+    };
+    for (label, enabled) in [("with latent model", true), ("without", false)] {
+        let reboot = mttf(enabled, RecoveryPolicy::RebootOnly);
+        let siras = mttf(enabled, RecoveryPolicy::Siras);
+        println!(
+            "   {label:<22} reboot-only MTTF {reboot:>7.0} s   SIRAs {siras:>7.0} s   ratio {:.2}",
+            reboot / siras.max(1.0)
+        );
+    }
+    println!("   -> the young-connection hazard is what reboot-heavy recovery pays for.\n");
+
+    // --- 3. window choice ---------------------------------------------------
+    println!("3. coalescence window (truncation vs collapse, Random WL logs):");
+    let r = Campaign::new(
+        CampaignConfig::paper(5, WorkloadKind::Random, RecoveryPolicy::Siras)
+            .duration(scale.duration),
+    )
+    .run();
+    for window_s in [30.0, 330.0, 3000.0] {
+        let mut tuples_total = 0usize;
+        let mut multi_failure = 0usize;
+        let mut with_failure = 0usize;
+        for node in r.repository.reporting_nodes() {
+            let mut records = r.repository.records_of(node);
+            records.sort();
+            for tuple in btpan_collect::coalesce(&records, SimDuration::from_secs_f64(window_s)) {
+                tuples_total += 1;
+                let failures = tuple.failures().count();
+                if failures >= 1 {
+                    with_failure += 1;
+                }
+                if failures > 1 {
+                    multi_failure += 1;
+                }
+            }
+        }
+        println!(
+            "   window {window_s:>6.0} s: {tuples_total:>5} tuples, {with_failure:>4} carry a failure, {multi_failure:>3} collapse several failures",
+        );
+    }
+    println!("   -> small windows split one error's evidence over many tuples");
+    println!("      (truncation); large windows merge independent failures into");
+    println!("      one tuple (collapse) — the knee window balances both.");
+
+    // Also show the Table 2 truncation effect directly.
+    let m30 = table2(&scale, SimDuration::from_secs(30));
+    let m330 = table2(&scale, SimDuration::from_secs(330));
+    let hci = |m: &btpan_collect::RelationshipMatrix| {
+        m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Local)
+            + m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Nap)
+    };
+    println!(
+        "   Connect-failed -> HCI attribution: {:.1} % at 30 s vs {:.1} % at 330 s",
+        hci(&m30),
+        hci(&m330)
+    );
+}

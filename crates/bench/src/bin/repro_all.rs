@@ -1,0 +1,33 @@
+//! Runs every reproduction in sequence (pass `--quick` for a fast pass).
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "repro_table1",
+        "repro_fig2",
+        "repro_table2",
+        "repro_table3",
+        "repro_table4",
+        "repro_fig3a",
+        "repro_fig3b",
+        "repro_fig3c",
+        "repro_fig4",
+        "repro_findings",
+        "repro_markov",
+        "repro_redundancy",
+        "repro_ablation",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Figure 2**: the coalescence-window sensitivity analysis
+//! and the knee at which the window is chosen (paper: 330 s).
+
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::experiment::fig2;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 2", "coalescence sensitivity (tuples vs window)", &scale);
+    let curve = fig2(&scale);
+    let pct = curve.tuple_percentages();
+    println!("{:>12} {:>10} {:>8}", "window (s)", "tuples", "% items");
+    for ((w, t), p) in curve.windows_s.iter().zip(&curve.tuples).zip(&pct) {
+        // print a downsampled view
+        println!("{w:>12.1} {t:>10} {p:>7.1}%");
+    }
+    let knee = curve.knee();
+    println!("\nmeasured knee: {knee:.0} s   (paper: 330 s)");
+    println!(
+        "truncation check: window 30 s yields {} tuples vs {} at the knee (collapse at 3000 s: {})",
+        interp(&curve.windows_s, &curve.tuples, 30.0),
+        interp(&curve.windows_s, &curve.tuples, knee),
+        interp(&curve.windows_s, &curve.tuples, 3000.0),
+    );
+}
+
+fn interp(ws: &[f64], ts: &[usize], w: f64) -> usize {
+    ws.iter()
+        .position(|&x| x >= w)
+        .map_or_else(|| *ts.last().unwrap_or(&0), |i| ts[i])
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Figure 3b**: packet-loss distribution vs the number of
+//! packets sent before the loss, from the special fixed-size workload
+//! (N = 10 000 packets of 1691 B on Verde and Win). Paper finding:
+//! young connections fail more.
+
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::experiment::fig3b;
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 3b",
+        "loss vs packets sent before the loss (special WL)",
+        &scale,
+    );
+    let hist = fig3b(&scale);
+    println!("{:>16} {:>8} {:>8}", "packets sent", "losses", "share");
+    for i in 0..hist.bins.len() {
+        let lo = i as u64 * hist.bin_width;
+        println!(
+            "{:>16} {:>8} {:>7.1}%",
+            format!("{}-{}", lo, lo + hist.bin_width - 1),
+            hist.bins[i],
+            hist.percent(i)
+        );
+    }
+    println!(
+        "\nyoung-connections-fail-more: {} (paper: true; first-quarter bins vs last-quarter)",
+        hist.young_dominated()
+    );
+}

@@ -1,0 +1,37 @@
+//! Reproduces **Figure 4**: user-failure distribution per host
+//! (Realistic WL, no masking). Paper findings: bind failures only on
+//! Azzurro and Win; switch-role failures concentrated on the PDAs.
+
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::experiment::fig4;
+use btpan_faults::UserFailure;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Figure 4", "user failures per host (Realistic WL)", &scale);
+    let map = fig4(&scale);
+    let hosts = ["Verde", "Miseno", "Azzurro", "Win", "Ipaq", "Zaurus"];
+    print!("{:<24}", "user failure");
+    for h in hosts {
+        print!(" {h:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(80));
+    for f in UserFailure::ALL {
+        let Some(t) = map.get(&f) else { continue };
+        print!("{:<24}", f.label());
+        for h in hosts {
+            print!(" {:>8}", t.count(h));
+        }
+        println!();
+    }
+    if let Some(bind) = map.get(&UserFailure::BindFailed) {
+        let clean: u64 = ["Verde", "Miseno", "Ipaq", "Zaurus"]
+            .iter()
+            .map(|h| bind.count(h))
+            .sum();
+        println!(
+            "\nbind failures on non-prone hosts: {clean} (paper: 0 — only Azzurro and Win)"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduces the **section 6 extras**: the 84 %/16 % random/realistic
+//! failure split (X1), the idle-time comparison (X2: 27.3 s vs 26.9 s)
+//! and the distance insensitivity (X3: 33.3/37.1/29.6 % at 0.5/5/7 m).
+
+use btpan_analysis::paper;
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::experiment::findings;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Findings", "workload split / idle time / distance", &scale);
+    let f = findings(&scale);
+    println!(
+        "X1 random-WL failure share: {:.1} %   (paper {:.1} %)",
+        f.random_share_percent,
+        paper::RANDOM_WL_FAILURE_SHARE
+    );
+    println!(
+        "X2 idle before failed cycles: {:.1} s vs clean cycles {:.1} s   (paper {:.1} vs {:.1})",
+        f.idle_before_failed_s,
+        f.idle_before_clean_s,
+        paper::IDLE_BEFORE_FAILED_S,
+        paper::IDLE_BEFORE_CLEAN_S
+    );
+    println!("X3 failure share by antenna distance (bind excluded):");
+    for ((d, measured), (pd, pp)) in f.distance_shares.iter().zip(paper::DISTANCE_SHARES) {
+        assert!((d - pd).abs() < 1e-9);
+        println!("    {d:>4.1} m: {measured:>5.1} %   (paper {pp:.2} %)");
+    }
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Table 1** as a census: every failure type of the model
+//! observed in the logs, grouped by utilization phase, with the
+//! system-level error types each co-occurs with.
+
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::campaign::{Campaign, CampaignConfig};
+use btpan_faults::{FailureGroup, SystemFault, UserFailure};
+use btpan_recovery::RecoveryPolicy;
+use btpan_core::prelude::WorkloadKind;
+use std::collections::BTreeSet;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table 1", "failure model census from simulated logs", &scale);
+    let mut seen_user: BTreeSet<UserFailure> = BTreeSet::new();
+    let mut seen_sys: BTreeSet<SystemFault> = BTreeSet::new();
+    for &seed in &scale.seeds {
+        for wl in [WorkloadKind::Random, WorkloadKind::Realistic] {
+            let r = Campaign::new(
+                CampaignConfig::paper(seed, wl, RecoveryPolicy::Siras).duration(scale.duration),
+            )
+            .run();
+            for t in r.repository.tests() {
+                seen_user.insert(t.failure);
+            }
+            for s in r.repository.systems() {
+                seen_sys.insert(s.fault);
+            }
+        }
+    }
+    for group in [FailureGroup::Search, FailureGroup::Connect, FailureGroup::DataTransfer] {
+        println!("{group:?}:");
+        for f in UserFailure::ALL.iter().filter(|f| f.group() == group) {
+            println!(
+                "  [{}] {}",
+                if seen_user.contains(f) { "x" } else { " " },
+                f.label()
+            );
+        }
+    }
+    println!("\nsystem-level error types observed:");
+    for s in SystemFault::ALL {
+        println!(
+            "  [{}] {} ({})",
+            if seen_sys.contains(&s) { "x" } else { " " },
+            s.log_message(),
+            s.component()
+        );
+    }
+    println!(
+        "\ncoverage: {}/10 user failure types, {}/11 system error types",
+        seen_user.len(),
+        seen_sys.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! Reproduces **Table 2**: the error–failure relationship matrix derived
+//! by merge-and-coalesce, including NAP→PANU propagation, compared
+//! against the ground-truth cause profiles (reconstructed Table 2).
+
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::experiment::table2;
+use btpan_faults::profiles::{cause_profile, FAILURE_MIX};
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+use btpan_sim::time::SimDuration;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table 2", "error-failure relationships (window 330 s)", &scale);
+    let m = table2(&scale, SimDuration::from_secs(330));
+    println!(
+        "observations: {} user failures related\n",
+        m.grand_total()
+    );
+    println!(
+        "{:<24} {:>7} | {:>13} {:>13} {:>13} {:>8}",
+        "user failure", "mix%", "HCI l/N", "L2CAP l/N", "SDP l/N", "none%"
+    );
+    println!("{}", "-".repeat(88));
+    for f in UserFailure::ALL {
+        let profile = cause_profile(f);
+        let fmt_pair = |c: SystemComponent| {
+            format!(
+                "{:>5.1}/{:<5.1}",
+                m.percent(f, c, CauseSite::Local),
+                m.percent(f, c, CauseSite::Nap)
+            )
+        };
+        println!(
+            "{:<24} {:>7} | {:>13} {:>13} {:>13} {:>8.1}",
+            f.label(),
+            format!("{:.1}", m.mix_percent(f)),
+            fmt_pair(SystemComponent::Hci),
+            fmt_pair(SystemComponent::L2cap),
+            fmt_pair(SystemComponent::Sdp),
+            m.percent_none(f),
+        );
+        println!(
+            "{:<24} {:>7} |   (paper row: HCI {:.1}, L2CAP {:.1}, SDP {:.1}, BCSP {:.1}, BNEP {:.1}, HOTPLUG {:.1}, none {:.1})",
+            "",
+            format!("({:.1})", FAILURE_MIX[f.index()]),
+            (profile.percent_for(SystemComponent::Hci, CauseSite::Local)
+                + profile.percent_for(SystemComponent::Hci, CauseSite::Nap)).max(0.0),
+            (profile.percent_for(SystemComponent::L2cap, CauseSite::Local)
+                + profile.percent_for(SystemComponent::L2cap, CauseSite::Nap)).max(0.0),
+            (profile.percent_for(SystemComponent::Sdp, CauseSite::Local)
+                + profile.percent_for(SystemComponent::Sdp, CauseSite::Nap)).max(0.0),
+            profile.percent_for(SystemComponent::Bcsp, CauseSite::Local).max(0.0),
+            profile.percent_for(SystemComponent::Bnep, CauseSite::Local).max(0.0),
+            profile.percent_for(SystemComponent::Hotplug, CauseSite::Local).max(0.0),
+            profile.none_percent(),
+        );
+    }
+    println!();
+    println!("column totals (share of ALL failures with evidence from each component):");
+    for (c, paper) in [
+        (SystemComponent::Hci, 49.9),
+        (SystemComponent::Sdp, 21.1),
+        (SystemComponent::L2cap, 11.4),
+        (SystemComponent::Bnep, 8.5),
+        (SystemComponent::Hotplug, 7.0),
+        (SystemComponent::Bcsp, 1.1),
+        (SystemComponent::Usb, 1.0),
+    ] {
+        println!(
+            "  {:<8} measured {:>5.1} %   paper {:>5.1} %",
+            c.label(),
+            m.column_total_percent(c),
+            paper
+        );
+    }
+}

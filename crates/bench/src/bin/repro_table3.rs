@@ -1,0 +1,36 @@
+//! Reproduces **Table 3**: SIRA effectiveness per user failure — the
+//! percentage of occurrences each recovery action fixes.
+
+use btpan_bench::{banner, scale_from_args};
+use btpan_core::experiment::table3;
+use btpan_faults::{Sira, SiraProfiles, UserFailure};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table 3", "user failure vs SIRA effectiveness", &scale);
+    let measured = table3(&scale);
+    print!("{:<24}", "user failure");
+    for s in Sira::ALL {
+        print!(" {:>9}", s.severity());
+    }
+    println!("   (row: measured % / paper %)");
+    println!("{}", "-".repeat(96));
+    for f in UserFailure::ALL {
+        let Some(paper) = SiraProfiles::row(f) else {
+            println!("{:<24}  (no recovery defined — data mismatch)", f.label());
+            continue;
+        };
+        let row = measured.get(&f).copied().unwrap_or([0.0; 7]);
+        print!("{:<24}", f.label());
+        for v in row {
+            print!(" {v:>9.1}");
+        }
+        println!();
+        print!("{:<24}", "  paper");
+        for v in paper {
+            print!(" {v:>9.1}");
+        }
+        println!();
+    }
+    println!("\ncoverage criterion: severities 1-3 (no app restart, no reboot)");
+}

@@ -1,0 +1,71 @@
+//! # btpan-bench
+//!
+//! The reproduction harness: one `repro_*` binary per table and figure
+//! of the paper, each printing the measured values next to the published
+//! references, plus Criterion benches over the code paths each
+//! experiment exercises.
+//!
+//! | binary          | paper artifact                              |
+//! |-----------------|---------------------------------------------|
+//! | `repro_table1`  | Table 1 failure-model census                |
+//! | `repro_fig2`    | Fig. 2 coalescence sensitivity + knee       |
+//! | `repro_table2`  | Table 2 error–failure relationships         |
+//! | `repro_table3`  | Table 3 SIRA effectiveness                  |
+//! | `repro_table4`  | Table 4 dependability improvement           |
+//! | `repro_fig3a`   | Fig. 3a loss by packet type                 |
+//! | `repro_fig3b`   | Fig. 3b loss by connection age              |
+//! | `repro_fig3c`   | Fig. 3c loss by application                 |
+//! | `repro_fig4`    | Fig. 4 failures by host                     |
+//! | `repro_findings`| §6 extras: 84/16 split, idle, distance      |
+//! | `repro_all`     | everything above in sequence                |
+//!
+//! Pass `--quick` for a fast, smaller-scale run (used by CI and the
+//! examples); the default scale matches EXPERIMENTS.md.
+
+use btpan_core::experiment::Scale;
+
+/// Parses the common CLI convention of the repro binaries.
+///
+/// `--quick` selects the small scale; `--seeds N` and `--hours H`
+/// override the defaults.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::full()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--seeds") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+            scale.seeds = (1..=n).map(|k| k * 11).collect();
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--hours") {
+        if let Some(h) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+            scale.duration = btpan_sim::time::SimDuration::from_secs(h * 3600);
+        }
+    }
+    scale
+}
+
+/// Prints a standard experiment header.
+pub fn banner(id: &str, what: &str, scale: &Scale) {
+    println!("=== {id}: {what}");
+    println!(
+        "    seeds {:?}, {:.1} simulated hours per campaign\n",
+        scale.seeds,
+        scale.duration.as_secs_f64() / 3600.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // Cannot easily fake argv; at least exercise the path.
+        let s = scale_from_args();
+        assert!(!s.seeds.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Log entry types: the two levels of failure data.
+//!
+//! A Test Log entry is the user-level failure report, carrying "details
+//! about the BT node status during the failure (e.g. the WL type, the
+//! packet type, the number of sent/received packets)" — exactly the
+//! status the failure-distribution analyses (Fig. 3a–c, Fig. 4) slice
+//! on. A System Log entry is one error record from a stack module or OS
+//! daemon.
+
+use btpan_faults::{SystemFault, UserFailure};
+use btpan_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Node identifier within a testbed.
+pub type NodeId = u64;
+
+/// Which workload the node was running (mirrors
+/// `btpan_workload::WorkloadKind` without a dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadTag {
+    /// The Random WL testbed.
+    Random,
+    /// The Realistic WL testbed.
+    Realistic,
+}
+
+/// Baseband packet type tag recorded in failure reports (stringly enum
+/// kept log-friendly).
+pub type PacketTypeTag = &'static str;
+
+/// A user-level failure report (Test Log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestLogEntry {
+    /// When the failure manifested.
+    pub at: SimTime,
+    /// The reporting node.
+    pub node: NodeId,
+    /// The failure as the user perceives it.
+    pub failure: UserFailure,
+    /// Which workload was running.
+    pub workload: WorkloadTag,
+    /// Baseband packet type in use (`"DH5"` etc.), if a transfer was
+    /// active.
+    pub packet_type: Option<String>,
+    /// Packets sent on the connection before the failure (the Fig. 3b
+    /// "connection length").
+    pub packets_sent_before: Option<u64>,
+    /// The emulated application, if the Realistic WL was running.
+    pub app: Option<String>,
+    /// Antenna distance from the NAP in metres.
+    pub distance_m: f64,
+    /// Idle time (`T_W`) that preceded this cycle, if the cycle reused a
+    /// connection (the paper's idle-time analysis).
+    pub idle_before_s: Option<f64>,
+}
+
+/// A system-level error record (System Log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemLogEntry {
+    /// When the component logged the error.
+    pub at: SimTime,
+    /// The node whose system log holds the entry.
+    pub node: NodeId,
+    /// The fault the component signalled.
+    pub fault: SystemFault,
+    /// The raw log line.
+    pub message: String,
+}
+
+impl SystemLogEntry {
+    /// Builds an entry with the fault's canonical message.
+    pub fn new(at: SimTime, node: NodeId, fault: SystemFault) -> Self {
+        SystemLogEntry {
+            at,
+            node,
+            fault,
+            message: fault.log_message().to_string(),
+        }
+    }
+}
+
+/// The payload of a merged record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RecordPayload {
+    /// A user-level failure report.
+    Test(TestLogEntry),
+    /// A system-level error entry.
+    System(SystemLogEntry),
+}
+
+/// One record in a merged, time-ordered stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Timestamp of the underlying entry.
+    pub at: SimTime,
+    /// The node that produced the entry.
+    pub node: NodeId,
+    /// Monotone sequence number breaking timestamp ties deterministically.
+    pub seq: u64,
+    /// The entry itself.
+    pub payload: RecordPayload,
+}
+
+impl LogRecord {
+    /// Wraps a test entry.
+    pub fn from_test(seq: u64, entry: TestLogEntry) -> Self {
+        LogRecord {
+            at: entry.at,
+            node: entry.node,
+            seq,
+            payload: RecordPayload::Test(entry),
+        }
+    }
+
+    /// Wraps a system entry.
+    pub fn from_system(seq: u64, entry: SystemLogEntry) -> Self {
+        LogRecord {
+            at: entry.at,
+            node: entry.node,
+            seq,
+            payload: RecordPayload::System(entry),
+        }
+    }
+
+    /// The user failure, if this is a test record.
+    pub fn as_failure(&self) -> Option<&TestLogEntry> {
+        match &self.payload {
+            RecordPayload::Test(t) => Some(t),
+            RecordPayload::System(_) => None,
+        }
+    }
+
+    /// The system fault, if this is a system record.
+    pub fn as_system(&self) -> Option<&SystemLogEntry> {
+        match &self.payload {
+            RecordPayload::System(s) => Some(s),
+            RecordPayload::Test(_) => None,
+        }
+    }
+}
+
+impl Eq for LogRecord {}
+
+impl PartialOrd for LogRecord {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LogRecord {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_faults::SystemFault;
+
+    fn test_entry(at_s: u64) -> TestLogEntry {
+        TestLogEntry {
+            at: SimTime::from_secs(at_s),
+            node: 3,
+            failure: UserFailure::PacketLoss,
+            workload: WorkloadTag::Random,
+            packet_type: Some("DM1".into()),
+            packets_sent_before: Some(42),
+            app: None,
+            distance_m: 5.0,
+            idle_before_s: None,
+        }
+    }
+
+    #[test]
+    fn record_accessors() {
+        let t = LogRecord::from_test(1, test_entry(10));
+        assert!(t.as_failure().is_some());
+        assert!(t.as_system().is_none());
+        let s = LogRecord::from_system(
+            2,
+            SystemLogEntry::new(SimTime::from_secs(9), 3, SystemFault::HciCommandTimeout),
+        );
+        assert!(s.as_system().is_some());
+        assert!(s.as_failure().is_none());
+        assert_eq!(s.as_system().unwrap().message, "HCI command timeout");
+    }
+
+    #[test]
+    fn ordering_by_time_then_seq() {
+        let a = LogRecord::from_test(5, test_entry(10));
+        let b = LogRecord::from_test(2, test_entry(10));
+        let c = LogRecord::from_test(1, test_entry(11));
+        assert!(b < a, "same time orders by seq");
+        assert!(a < c, "earlier time first");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = LogRecord::from_system(
+            7,
+            SystemLogEntry::new(SimTime::from_millis(1500), 2, SystemFault::BnepOccupied),
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: LogRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn status_fields_survive() {
+        let e = test_entry(1);
+        assert_eq!(e.packet_type.as_deref(), Some("DM1"));
+        assert_eq!(e.packets_sent_before, Some(42));
+        assert_eq!(e.distance_m, 5.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-node Test and System log files.
+//!
+//! Append-only stores with monotone sequence numbers, mirroring the two
+//! files every BT node keeps: the Test Log (user failure reports) and
+//! the System Log (all error information from applications and system
+//! daemons).
+
+use crate::entry::{LogRecord, NodeId, SystemLogEntry, TestLogEntry};
+use btpan_sim::time::SimTime;
+
+/// The Test Log of one node.
+#[derive(Debug, Clone, Default)]
+pub struct TestLog {
+    node: NodeId,
+    entries: Vec<TestLogEntry>,
+    next_seq: u64,
+}
+
+impl TestLog {
+    /// Creates the Test Log of `node`.
+    pub fn new(node: NodeId) -> Self {
+        TestLog {
+            node,
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Appends a failure report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry belongs to a different node.
+    pub fn append(&mut self, entry: TestLogEntry) -> u64 {
+        assert_eq!(entry.node, self.node, "entry written to wrong Test Log");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(entry);
+        seq
+    }
+
+    /// All entries in append order.
+    pub fn entries(&self) -> &[TestLogEntry] {
+        &self.entries
+    }
+
+    /// Number of reports.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no reports were written.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries written at or after `since` (incremental extraction).
+    pub fn since(&self, since: SimTime) -> impl Iterator<Item = &TestLogEntry> {
+        self.entries.iter().filter(move |e| e.at >= since)
+    }
+
+    /// Converts to merged records, numbering with the given offset.
+    pub fn to_records(&self, seq_offset: u64) -> Vec<LogRecord> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| LogRecord::from_test(seq_offset + i as u64, e.clone()))
+            .collect()
+    }
+}
+
+/// The System Log of one node.
+#[derive(Debug, Clone, Default)]
+pub struct SystemLog {
+    node: NodeId,
+    entries: Vec<SystemLogEntry>,
+    next_seq: u64,
+}
+
+impl SystemLog {
+    /// Creates the System Log of `node`.
+    pub fn new(node: NodeId) -> Self {
+        SystemLog {
+            node,
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Appends an error entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry belongs to a different node.
+    pub fn append(&mut self, entry: SystemLogEntry) -> u64 {
+        assert_eq!(entry.node, self.node, "entry written to wrong System Log");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(entry);
+        seq
+    }
+
+    /// All entries in append order.
+    pub fn entries(&self) -> &[SystemLogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries written at or after `since`.
+    pub fn since(&self, since: SimTime) -> impl Iterator<Item = &SystemLogEntry> {
+        self.entries.iter().filter(move |e| e.at >= since)
+    }
+
+    /// Converts to merged records, numbering with the given offset.
+    pub fn to_records(&self, seq_offset: u64) -> Vec<LogRecord> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| LogRecord::from_system(seq_offset + i as u64, e.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::WorkloadTag;
+    use btpan_faults::{SystemFault, UserFailure};
+
+    fn test_entry(node: NodeId, at_s: u64) -> TestLogEntry {
+        TestLogEntry {
+            at: SimTime::from_secs(at_s),
+            node,
+            failure: UserFailure::ConnectFailed,
+            workload: WorkloadTag::Realistic,
+            packet_type: None,
+            packets_sent_before: None,
+            app: Some("Web".into()),
+            distance_m: 0.5,
+            idle_before_s: Some(12.0),
+        }
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut log = TestLog::new(4);
+        assert!(log.is_empty());
+        let s0 = log.append(test_entry(4, 10));
+        let s1 = log.append(test_entry(4, 20));
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.node(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong Test Log")]
+    fn wrong_node_rejected() {
+        let mut log = TestLog::new(4);
+        log.append(test_entry(5, 10));
+    }
+
+    #[test]
+    fn incremental_extraction() {
+        let mut log = TestLog::new(1);
+        log.append(test_entry(1, 10));
+        log.append(test_entry(1, 20));
+        log.append(test_entry(1, 30));
+        let fresh: Vec<_> = log.since(SimTime::from_secs(20)).collect();
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn system_log_round_trip() {
+        let mut log = SystemLog::new(2);
+        log.append(SystemLogEntry::new(
+            SimTime::from_secs(5),
+            2,
+            SystemFault::HotplugTimeout,
+        ));
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+        let records = log.to_records(100);
+        assert_eq!(records[0].seq, 100);
+        assert!(records[0].as_system().is_some());
+    }
+
+    #[test]
+    fn record_conversion_preserves_order() {
+        let mut log = TestLog::new(1);
+        log.append(test_entry(1, 10));
+        log.append(test_entry(1, 5)); // out-of-order timestamps allowed
+        let recs = log.to_records(0);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+    }
+}

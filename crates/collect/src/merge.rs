@@ -1,0 +1,85 @@
+//! Step 1 of the scheme: time-based merging.
+//!
+//! "For each node a log file is produced by merging its Test Log and
+//! System Log files, on a time-based criteria (entries are ordered
+//! according to their timestamps)." For the NAP-propagation analysis the
+//! NAP's System Log is merged in as well.
+
+use crate::entry::LogRecord;
+
+/// Merges any number of record streams into one time-ordered stream
+/// (stable on ties via the records' sequence numbers).
+pub fn merge_records<I>(streams: I) -> Vec<LogRecord>
+where
+    I: IntoIterator<Item = Vec<LogRecord>>,
+{
+    let mut all: Vec<LogRecord> = streams.into_iter().flatten().collect();
+    all.sort();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{SystemLogEntry, TestLogEntry, WorkloadTag};
+    use btpan_faults::{SystemFault, UserFailure};
+    use btpan_sim::time::SimTime;
+
+    fn test_rec(seq: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_test(
+            seq,
+            TestLogEntry {
+                at: SimTime::from_secs(at_s),
+                node: 1,
+                failure: UserFailure::PacketLoss,
+                workload: WorkloadTag::Random,
+                packet_type: None,
+                packets_sent_before: None,
+                app: None,
+                distance_m: 5.0,
+                idle_before_s: None,
+            },
+        )
+    }
+
+    fn sys_rec(seq: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_system(
+            seq,
+            SystemLogEntry::new(SimTime::from_secs(at_s), 1, SystemFault::HciCommandTimeout),
+        )
+    }
+
+    #[test]
+    fn merge_orders_by_time() {
+        let merged = merge_records([
+            vec![test_rec(0, 30), test_rec(1, 10)],
+            vec![sys_rec(2, 20), sys_rec(3, 5)],
+        ]);
+        let times: Vec<u64> = merged.iter().map(|r| r.at.as_micros() / 1_000_000).collect();
+        assert_eq!(times, vec![5, 10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_is_stable_on_ties() {
+        let merged = merge_records([vec![test_rec(5, 10)], vec![sys_rec(2, 10)]]);
+        assert_eq!(merged[0].seq, 2);
+        assert_eq!(merged[1].seq, 5);
+    }
+
+    #[test]
+    fn merge_preserves_multiset() {
+        let a = vec![test_rec(0, 3), test_rec(1, 1)];
+        let b = vec![sys_rec(2, 2)];
+        let merged = merge_records([a.clone(), b.clone()]);
+        assert_eq!(merged.len(), a.len() + b.len());
+        for r in a.iter().chain(b.iter()) {
+            assert!(merged.contains(r));
+        }
+    }
+
+    #[test]
+    fn empty_streams_ok() {
+        assert!(merge_records(Vec::<Vec<LogRecord>>::new()).is_empty());
+        assert_eq!(merge_records([vec![], vec![test_rec(0, 1)]]).len(), 1);
+    }
+}

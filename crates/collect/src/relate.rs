@@ -1,0 +1,349 @@
+//! Step 3: inferring error–failure relationships from tuple contents.
+//!
+//! "If a tuple contains both a *Connect failed* high-level message and
+//! HCI low-level messages, an evidence of a HCI–connect relationship is
+//! found. Counting all the HCI–connect evidences gives a mean to weight
+//! the relationship." Relating each Test Log with the NAP's System Log
+//! as well exposes NAP→PANU error propagation — the `local` vs `NAP`
+//! columns of Table 2.
+
+use crate::coalesce::{coalesce, Tuple};
+use crate::entry::{LogRecord, NodeId};
+use crate::merge::merge_records;
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+use btpan_sim::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// One observation: a user failure co-tupled with system evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationshipObservation {
+    /// The user-level failure.
+    pub failure: UserFailure,
+    /// The strongest co-tupled system evidence, if any.
+    pub cause: Option<(SystemComponent, CauseSite)>,
+}
+
+/// The Table 2 matrix: per user failure, evidence counts per
+/// (component, site) plus the no-evidence count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelationshipMatrix {
+    counts: BTreeMap<(UserFailure, SystemComponent, CauseSite), u64>,
+    none_counts: BTreeMap<UserFailure, u64>,
+    totals: BTreeMap<UserFailure, u64>,
+}
+
+impl RelationshipMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        RelationshipMatrix::default()
+    }
+
+    /// Builds the matrix from per-node record streams.
+    ///
+    /// For each PANU node: merge its Test records, its local System
+    /// records, and the NAP's System records (tagged by node id), then
+    /// coalesce with `window` and extract one observation per user
+    /// failure in each tuple.
+    pub fn from_node_logs(
+        node_streams: &[(NodeId, Vec<LogRecord>)],
+        nap_system: &[LogRecord],
+        nap_node: NodeId,
+        window: SimDuration,
+    ) -> Self {
+        let mut matrix = RelationshipMatrix::new();
+        for (node, records) in node_streams {
+            let merged = merge_records([records.clone(), nap_system.to_vec()]);
+            for tuple in coalesce(&merged, window) {
+                for obs in observations_in(&tuple, *node, nap_node) {
+                    matrix.record(obs);
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Merges another matrix's counts into this one (pooling testbeds
+    /// or seeds).
+    pub fn absorb(&mut self, other: &RelationshipMatrix) {
+        for (&key, &v) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += v;
+        }
+        for (&f, &v) in &other.none_counts {
+            *self.none_counts.entry(f).or_insert(0) += v;
+        }
+        for (&f, &v) in &other.totals {
+            *self.totals.entry(f).or_insert(0) += v;
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, obs: RelationshipObservation) {
+        *self.totals.entry(obs.failure).or_insert(0) += 1;
+        match obs.cause {
+            Some((component, site)) => {
+                *self
+                    .counts
+                    .entry((obs.failure, component, site))
+                    .or_insert(0) += 1;
+            }
+            None => {
+                *self.none_counts.entry(obs.failure).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Total observations of `failure`.
+    pub fn total(&self, failure: UserFailure) -> u64 {
+        self.totals.get(&failure).copied().unwrap_or(0)
+    }
+
+    /// Grand total over all failures.
+    pub fn grand_total(&self) -> u64 {
+        self.totals.values().sum()
+    }
+
+    /// Row percentage for (`failure`, `component`, `site`).
+    pub fn percent(&self, failure: UserFailure, component: SystemComponent, site: CauseSite) -> f64 {
+        let total = self.total(failure);
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self
+            .counts
+            .get(&(failure, component, site))
+            .copied()
+            .unwrap_or(0);
+        100.0 * n as f64 / total as f64
+    }
+
+    /// Row percentage with no system evidence.
+    pub fn percent_none(&self, failure: UserFailure) -> f64 {
+        let total = self.total(failure);
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.none_counts.get(&failure).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Column total: percentage of *all* failures showing evidence from
+    /// `component` (local + NAP) — the paper's "49.9 % of user failures
+    /// are due to HCI".
+    pub fn column_total_percent(&self, component: SystemComponent) -> f64 {
+        let grand = self.grand_total();
+        if grand == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .counts
+            .iter()
+            .filter(|((_, c, _), _)| *c == component)
+            .map(|(_, v)| *v)
+            .sum();
+        100.0 * n as f64 / grand as f64
+    }
+
+    /// Share of `failure` among all observed failures (the TOT column).
+    pub fn mix_percent(&self, failure: UserFailure) -> f64 {
+        let grand = self.grand_total();
+        if grand == 0 {
+            return 0.0;
+        }
+        100.0 * self.total(failure) as f64 / grand as f64
+    }
+}
+
+/// Extracts the observations of one tuple: each user failure of `node`
+/// pairs with the dominant co-tupled system evidence (local beats NAP on
+/// ties; the component physically closest in time wins).
+fn observations_in(
+    tuple: &Tuple,
+    node: NodeId,
+    nap_node: NodeId,
+) -> Vec<RelationshipObservation> {
+    let mut out = Vec::new();
+    for failure in tuple.failures() {
+        if failure.node != node {
+            continue;
+        }
+        // Find the system entry nearest in time to the failure.
+        let mut best: Option<(u64, SystemComponent, CauseSite)> = None;
+        for sys in tuple.system_entries() {
+            let site = if sys.node == node {
+                CauseSite::Local
+            } else if sys.node == nap_node {
+                CauseSite::Nap
+            } else {
+                continue;
+            };
+            let gap = if sys.at >= failure.at {
+                sys.at.since(failure.at).as_micros()
+            } else {
+                failure.at.since(sys.at).as_micros()
+            };
+            // Local entries win ties against NAP ones (propagation is
+            // claimed only when the NAP evidence is strictly closer).
+            let rank = gap * 2 + u64::from(site == CauseSite::Nap);
+            if best.is_none_or(|(r, _, _)| rank < r) {
+                best = Some((rank, sys.fault.component(), site));
+            }
+        }
+        out.push(RelationshipObservation {
+            failure: failure.failure,
+            cause: best.map(|(_, c, s)| (c, s)),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{SystemLogEntry, TestLogEntry, WorkloadTag};
+    use btpan_faults::SystemFault;
+    use btpan_sim::time::SimTime;
+
+    const NAP: NodeId = 100;
+
+    fn fail(seq: u64, node: NodeId, at_s: u64, failure: UserFailure) -> LogRecord {
+        LogRecord::from_test(
+            seq,
+            TestLogEntry {
+                at: SimTime::from_secs(at_s),
+                node,
+                failure,
+                workload: WorkloadTag::Random,
+                packet_type: None,
+                packets_sent_before: None,
+                app: None,
+                distance_m: 5.0,
+                idle_before_s: None,
+            },
+        )
+    }
+
+    fn sys(seq: u64, node: NodeId, at_s: u64, fault: SystemFault) -> LogRecord {
+        LogRecord::from_system(
+            seq,
+            SystemLogEntry::new(SimTime::from_secs(at_s), node, fault),
+        )
+    }
+
+    #[test]
+    fn local_evidence_found() {
+        let node_records = vec![
+            sys(0, 1, 95, SystemFault::HciCommandTimeout),
+            fail(1, 1, 100, UserFailure::ConnectFailed),
+        ];
+        let m = RelationshipMatrix::from_node_logs(
+            &[(1, node_records)],
+            &[],
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(m.total(UserFailure::ConnectFailed), 1);
+        assert_eq!(
+            m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Local),
+            100.0
+        );
+    }
+
+    #[test]
+    fn nap_propagation_detected() {
+        let node_records = vec![fail(0, 1, 100, UserFailure::PacketLoss)];
+        let nap_records = vec![sys(1, NAP, 98, SystemFault::L2capUnexpectedFrame)];
+        let m = RelationshipMatrix::from_node_logs(
+            &[(1, node_records)],
+            &nap_records,
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(
+            m.percent(UserFailure::PacketLoss, SystemComponent::L2cap, CauseSite::Nap),
+            100.0
+        );
+    }
+
+    #[test]
+    fn local_beats_nap_on_equal_distance() {
+        let node_records = vec![
+            fail(0, 1, 100, UserFailure::ConnectFailed),
+            sys(1, 1, 102, SystemFault::HciCommandTimeout),
+        ];
+        let nap_records = vec![sys(2, NAP, 98, SystemFault::HciCommandTimeout)];
+        let m = RelationshipMatrix::from_node_logs(
+            &[(1, node_records)],
+            &nap_records,
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(
+            m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Local),
+            100.0
+        );
+    }
+
+    #[test]
+    fn no_evidence_counted_as_none() {
+        let node_records = vec![fail(0, 1, 100, UserFailure::InquiryScanFailed)];
+        let m = RelationshipMatrix::from_node_logs(
+            &[(1, node_records)],
+            &[],
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(m.percent_none(UserFailure::InquiryScanFailed), 100.0);
+    }
+
+    #[test]
+    fn far_away_evidence_not_related() {
+        // System entry 1000 s before the failure: different tuple.
+        let node_records = vec![
+            sys(0, 1, 100, SystemFault::HciCommandTimeout),
+            fail(1, 1, 1100, UserFailure::ConnectFailed),
+        ];
+        let m = RelationshipMatrix::from_node_logs(
+            &[(1, node_records)],
+            &[],
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(m.percent_none(UserFailure::ConnectFailed), 100.0);
+    }
+
+    #[test]
+    fn column_and_mix_totals() {
+        let mut m = RelationshipMatrix::new();
+        for _ in 0..3 {
+            m.record(RelationshipObservation {
+                failure: UserFailure::ConnectFailed,
+                cause: Some((SystemComponent::Hci, CauseSite::Local)),
+            });
+        }
+        m.record(RelationshipObservation {
+            failure: UserFailure::PacketLoss,
+            cause: Some((SystemComponent::L2cap, CauseSite::Nap)),
+        });
+        assert_eq!(m.grand_total(), 4);
+        assert_eq!(m.column_total_percent(SystemComponent::Hci), 75.0);
+        assert_eq!(m.column_total_percent(SystemComponent::L2cap), 25.0);
+        assert_eq!(m.mix_percent(UserFailure::ConnectFailed), 75.0);
+        assert_eq!(m.mix_percent(UserFailure::BindFailed), 0.0);
+        assert_eq!(m.percent_none(UserFailure::BindFailed), 0.0);
+    }
+
+    #[test]
+    fn foreign_node_entries_ignored() {
+        // A system entry from an unrelated PANU must not count.
+        let node_records = vec![
+            fail(0, 1, 100, UserFailure::ConnectFailed),
+            sys(1, 2, 99, SystemFault::HciCommandTimeout), // node 2!
+        ];
+        let m = RelationshipMatrix::from_node_logs(
+            &[(1, node_records)],
+            &[],
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(m.percent_none(UserFailure::ConnectFailed), 100.0);
+    }
+}

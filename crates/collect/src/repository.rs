@@ -1,0 +1,223 @@
+//! The central failure-data repository.
+//!
+//! All LogAnalyzer daemons ship into one repository, "where data are
+//! then analyzed by means of a statistical analysis software" (the paper
+//! used SAS; our `btpan-analysis` plays that role). The repository is
+//! thread-safe — the multi-seed campaign runner ships from worker
+//! threads — and hands out time-ordered merged views per node.
+
+use crate::entry::{LogRecord, NodeId, SystemLogEntry, TestLogEntry};
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    tests: Vec<TestLogEntry>,
+    systems: Vec<SystemLogEntry>,
+    next_seq: u64,
+    test_records: Vec<LogRecord>,
+    system_records: Vec<LogRecord>,
+}
+
+/// The central repository of both failure-data levels.
+#[derive(Debug, Default)]
+pub struct Repository {
+    inner: Mutex<Inner>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Stores one user-level failure report.
+    pub fn store_test(&self, entry: TestLogEntry) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.test_records.push(LogRecord::from_test(seq, entry.clone()));
+        inner.tests.push(entry);
+    }
+
+    /// Stores one system-level error entry.
+    pub fn store_system(&self, entry: SystemLogEntry) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner
+            .system_records
+            .push(LogRecord::from_system(seq, entry.clone()));
+        inner.systems.push(entry);
+    }
+
+    /// Number of user-level reports stored.
+    pub fn test_count(&self) -> usize {
+        self.inner.lock().tests.len()
+    }
+
+    /// Number of system-level entries stored.
+    pub fn system_count(&self) -> usize {
+        self.inner.lock().systems.len()
+    }
+
+    /// Total failure data items (the paper collected 356 551).
+    pub fn total_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.tests.len() + inner.systems.len()
+    }
+
+    /// Clones all user-level reports.
+    pub fn tests(&self) -> Vec<TestLogEntry> {
+        self.inner.lock().tests.clone()
+    }
+
+    /// Clones all system-level entries.
+    pub fn systems(&self) -> Vec<SystemLogEntry> {
+        self.inner.lock().systems.clone()
+    }
+
+    /// All records of `node` (both levels), unsorted.
+    pub fn records_of(&self, node: NodeId) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        inner
+            .test_records
+            .iter()
+            .chain(inner.system_records.iter())
+            .filter(|r| r.node == node)
+            .cloned()
+            .collect()
+    }
+
+    /// All system records of `node` (for NAP-propagation analysis).
+    pub fn system_records_of(&self, node: NodeId) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        inner
+            .system_records
+            .iter()
+            .filter(|r| r.node == node)
+            .cloned()
+            .collect()
+    }
+
+    /// The distinct nodes that shipped test reports.
+    pub fn reporting_nodes(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock();
+        let mut nodes: Vec<NodeId> = inner.tests.iter().map(|t| t.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Absorbs all content of `other` (merging per-seed repositories).
+    pub fn absorb(&self, other: Repository) {
+        let other = other.inner.into_inner();
+        for t in other.tests {
+            self.store_test(t);
+        }
+        for s in other.systems {
+            self.store_system(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::WorkloadTag;
+    use btpan_faults::{SystemFault, UserFailure};
+    use btpan_sim::time::SimTime;
+    use std::sync::Arc;
+
+    fn t(node: NodeId, at_s: u64) -> TestLogEntry {
+        TestLogEntry {
+            at: SimTime::from_secs(at_s),
+            node,
+            failure: UserFailure::BindFailed,
+            workload: WorkloadTag::Realistic,
+            packet_type: None,
+            packets_sent_before: None,
+            app: None,
+            distance_m: 5.0,
+            idle_before_s: None,
+        }
+    }
+
+    #[test]
+    fn store_and_count() {
+        let repo = Repository::new();
+        repo.store_test(t(1, 10));
+        repo.store_system(SystemLogEntry::new(
+            SimTime::from_secs(9),
+            1,
+            SystemFault::HotplugTimeout,
+        ));
+        assert_eq!(repo.test_count(), 1);
+        assert_eq!(repo.system_count(), 1);
+        assert_eq!(repo.total_count(), 2);
+        assert_eq!(repo.reporting_nodes(), vec![1]);
+    }
+
+    #[test]
+    fn per_node_views() {
+        let repo = Repository::new();
+        repo.store_test(t(1, 10));
+        repo.store_test(t(2, 11));
+        repo.store_system(SystemLogEntry::new(
+            SimTime::from_secs(9),
+            2,
+            SystemFault::HciCommandTimeout,
+        ));
+        assert_eq!(repo.records_of(1).len(), 1);
+        assert_eq!(repo.records_of(2).len(), 2);
+        assert_eq!(repo.system_records_of(2).len(), 1);
+        assert_eq!(repo.system_records_of(1).len(), 0);
+    }
+
+    #[test]
+    fn sequence_numbers_unique() {
+        let repo = Repository::new();
+        for i in 0..10 {
+            repo.store_test(t(1, i));
+        }
+        let mut seqs: Vec<u64> = repo.records_of(1).iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_shipping() {
+        let repo = Arc::new(Repository::new());
+        let handles: Vec<_> = (0..4)
+            .map(|n| {
+                let repo = Arc::clone(&repo);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        repo.store_test(t(n, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(repo.test_count(), 1000);
+        assert_eq!(repo.reporting_nodes().len(), 4);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let a = Repository::new();
+        a.store_test(t(1, 1));
+        let b = Repository::new();
+        b.store_test(t(2, 2));
+        b.store_system(SystemLogEntry::new(
+            SimTime::from_secs(2),
+            2,
+            SystemFault::BnepOccupied,
+        ));
+        a.absorb(b);
+        assert_eq!(a.test_count(), 2);
+        assert_eq!(a.system_count(), 1);
+    }
+}

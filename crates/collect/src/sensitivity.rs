@@ -1,0 +1,205 @@
+//! Window sensitivity analysis and knee detection (Fig. 2).
+//!
+//! "The window size has been determined by conducting a sensitivity
+//! analysis: the number of obtained tuples is plotted as a function of
+//! the window size. A critical knee is highlighted: choosing a point
+//! before the knee causes the number of tuples to drastically increase
+//! (truncations); choosing after the knee generates collapses. A window
+//! size of 330 seconds, exactly at the beginning of the knee, is
+//! chosen."
+//!
+//! Knee detection implements the paper's criterion directly: the chosen
+//! window sits "exactly at the beginning of the knee", i.e. where the
+//! steep truncation-side slope of the curve dies off (evaluated on a
+//! log-spaced window grid with slope smoothing).
+
+use crate::coalesce::coalesce;
+use crate::entry::LogRecord;
+use btpan_sim::time::SimDuration;
+
+/// The sampled tuples-vs-window curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityCurve {
+    /// Window sizes evaluated, ascending, in seconds.
+    pub windows_s: Vec<f64>,
+    /// Number of tuples at each window.
+    pub tuples: Vec<usize>,
+    /// Number of input records (for the percentage axis of Fig. 2).
+    pub record_count: usize,
+}
+
+impl SensitivityCurve {
+    /// Sweeps the coalescence over a log-spaced grid of `points` windows
+    /// between `min_s` and `max_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_s < max_s` and `points >= 2`.
+    pub fn sweep(records: &[LogRecord], min_s: f64, max_s: f64, points: usize) -> Self {
+        assert!(min_s > 0.0 && min_s < max_s, "window bounds");
+        assert!(points >= 2, "need at least two grid points");
+        let log_min = min_s.ln();
+        let log_max = max_s.ln();
+        let mut windows_s = Vec::with_capacity(points);
+        let mut tuples = Vec::with_capacity(points);
+        for i in 0..points {
+            let f = i as f64 / (points - 1) as f64;
+            let w = (log_min + f * (log_max - log_min)).exp();
+            windows_s.push(w);
+            tuples.push(coalesce(records, SimDuration::from_secs_f64(w)).len());
+        }
+        SensitivityCurve {
+            windows_s,
+            tuples,
+            record_count: records.len(),
+        }
+    }
+
+    /// Tuples as a percentage of input records (the Fig. 2 y-axis).
+    pub fn tuple_percentages(&self) -> Vec<f64> {
+        let denom = self.record_count.max(1) as f64;
+        self.tuples
+            .iter()
+            .map(|&t| 100.0 * t as f64 / denom)
+            .collect()
+    }
+
+    /// Finds the knee window (seconds) of this curve.
+    pub fn knee(&self) -> f64 {
+        detect_knee(&self.windows_s, &self.tuples)
+    }
+}
+
+/// Detects the knee of a monotone-decreasing tuples-vs-window curve:
+/// the paper picks the window "exactly at the beginning of the knee" —
+/// the point where the steep truncation-side decline dies off. We find
+/// the (smoothed) per-step slope peak and return the first window after
+/// it where the slope falls below 30 % of that peak.
+///
+/// # Panics
+///
+/// Panics if the inputs are shorter than 4 points or lengths differ.
+pub fn detect_knee(windows_s: &[f64], tuples: &[usize]) -> f64 {
+    assert_eq!(windows_s.len(), tuples.len(), "curve arrays mismatch");
+    assert!(windows_s.len() >= 4, "need at least 4 points for a knee");
+    // Per-grid-step drops (the grid is log-spaced, so this is the slope
+    // against log window size).
+    let drops: Vec<f64> = tuples
+        .windows(2)
+        .map(|w| w[0] as f64 - w[1] as f64)
+        .collect();
+    // Moving-average smoothing (window 3) to ride over grid noise.
+    let smooth: Vec<f64> = (0..drops.len())
+        .map(|i| {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 2).min(drops.len());
+            drops[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let (peak_i, peak) = smooth
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite slopes"))
+        .expect("non-empty");
+    let threshold = 0.3 * peak;
+    for (i, s) in smooth.iter().enumerate().skip(peak_i + 1) {
+        if *s < threshold {
+            return windows_s[i];
+        }
+    }
+    *windows_s.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::SystemLogEntry;
+    use btpan_faults::SystemFault;
+    use btpan_sim::prelude::*;
+    use btpan_sim::time::SimTime;
+
+    fn rec(seq: u64, at_us: u64) -> LogRecord {
+        LogRecord::from_system(
+            seq,
+            SystemLogEntry::new(
+                SimTime::from_micros(at_us),
+                1,
+                SystemFault::HciCommandTimeout,
+            ),
+        )
+    }
+
+    /// Builds a stream with two scales: intra-burst gaps up to
+    /// `burst_spread_s`, bursts separated by `quiet_s` on average.
+    fn two_scale_stream(bursts: usize, burst_spread_s: u64, quiet_s: u64) -> Vec<LogRecord> {
+        let mut rng = SimRng::seed_from(7);
+        let mut records = Vec::new();
+        let mut t = 0u64;
+        let mut seq = 0;
+        for _ in 0..bursts {
+            let events = rng.uniform_u64(2, 5);
+            let mut bt = t;
+            for _ in 0..events {
+                records.push(rec(seq, bt * 1_000_000));
+                seq += 1;
+                bt += rng.uniform_u64(1, burst_spread_s.max(2));
+            }
+            t = bt + quiet_s + rng.uniform_u64(0, quiet_s);
+        }
+        records
+    }
+
+    #[test]
+    fn knee_lands_between_scales() {
+        // Bursts spread over <= 100 s, quiet gaps of ~2000 s: the knee
+        // must land between 100 and 2000 s.
+        let records = two_scale_stream(200, 100, 2_000);
+        let curve = SensitivityCurve::sweep(&records, 1.0, 20_000.0, 60);
+        let knee = curve.knee();
+        assert!(
+            (100.0..2_000.0).contains(&knee),
+            "knee {knee} outside scales"
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let records = two_scale_stream(100, 60, 1_000);
+        let curve = SensitivityCurve::sweep(&records, 1.0, 10_000.0, 30);
+        for w in curve.tuples.windows(2) {
+            assert!(w[1] <= w[0], "tuple count increased with window");
+        }
+    }
+
+    #[test]
+    fn percentages_normalized() {
+        let records = two_scale_stream(50, 30, 500);
+        let curve = SensitivityCurve::sweep(&records, 1.0, 5_000.0, 20);
+        let pct = curve.tuple_percentages();
+        assert_eq!(pct.len(), 20);
+        for p in pct {
+            assert!((0.0..=100.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn knee_of_synthetic_elbow() {
+        // Construct an explicit elbow: steep until x = 100, flat after.
+        let windows: Vec<f64> = vec![1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10_000.0];
+        let tuples: Vec<usize> = vec![1000, 800, 500, 200, 190, 185, 180, 178];
+        let knee = detect_knee(&windows, &tuples);
+        assert!((100.0..=500.0).contains(&knee), "knee {knee}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn knee_needs_points() {
+        let _ = detect_knee(&[1.0, 2.0], &[10, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window bounds")]
+    fn sweep_guards_bounds() {
+        let _ = SensitivityCurve::sweep(&[], 10.0, 5.0, 10);
+    }
+}

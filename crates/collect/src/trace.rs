@@ -1,0 +1,174 @@
+//! Portable failure-trace export/import (JSON Lines).
+//!
+//! The paper published its unclassified failure reports on the project
+//! web site; this module is the equivalent data-publication path: a
+//! campaign's repository serializes to a line-per-record JSONL trace
+//! that external tooling (or a later `btpan` session) can re-import and
+//! re-analyze without re-simulating.
+
+use crate::entry::{LogRecord, RecordPayload};
+use crate::repository::Repository;
+use std::fmt;
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A line failed to parse as a record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying serde error.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed { line, source } => {
+                write!(f, "malformed trace line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Malformed { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Serializes every record of a repository (both levels, time-sorted)
+/// into a JSONL string.
+pub fn export_trace(repo: &Repository) -> String {
+    let mut records: Vec<LogRecord> = Vec::new();
+    for node in repo.reporting_nodes() {
+        records.extend(repo.records_of(node));
+    }
+    // System-only nodes (the NAP) are not in reporting_nodes; pick their
+    // entries up from the full system dump.
+    let known: std::collections::BTreeSet<u64> = repo.reporting_nodes().into_iter().collect();
+    for (i, entry) in repo.systems().into_iter().enumerate() {
+        if !known.contains(&entry.node) {
+            records.push(LogRecord::from_system(u64::MAX - i as u64, entry));
+        }
+    }
+    records.sort();
+    let mut out = String::new();
+    for r in &records {
+        out.push_str(&serde_json::to_string(r).expect("records serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace back into records.
+///
+/// # Errors
+///
+/// [`TraceError::Malformed`] naming the first bad line.
+pub fn import_trace(trace: &str) -> Result<Vec<LogRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (i, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: LogRecord = serde_json::from_str(line).map_err(|source| {
+            TraceError::Malformed {
+                line: i + 1,
+                source,
+            }
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Rebuilds a repository from imported records.
+pub fn repository_from_records(records: &[LogRecord]) -> Repository {
+    let repo = Repository::new();
+    for r in records {
+        match &r.payload {
+            RecordPayload::Test(t) => repo.store_test(t.clone()),
+            RecordPayload::System(s) => repo.store_system(s.clone()),
+        }
+    }
+    repo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{SystemLogEntry, TestLogEntry, WorkloadTag};
+    use btpan_faults::{SystemFault, UserFailure};
+    use btpan_sim::time::SimTime;
+
+    fn sample_repo() -> Repository {
+        let repo = Repository::new();
+        repo.store_test(TestLogEntry {
+            at: SimTime::from_secs(10),
+            node: 1,
+            failure: UserFailure::PacketLoss,
+            workload: WorkloadTag::Random,
+            packet_type: Some("DM1".into()),
+            packets_sent_before: Some(42),
+            app: None,
+            distance_m: 5.0,
+            idle_before_s: Some(12.5),
+        });
+        repo.store_system(SystemLogEntry::new(
+            SimTime::from_secs(8),
+            1,
+            SystemFault::HciCommandTimeout,
+        ));
+        // NAP entry: node 0 has no test reports.
+        repo.store_system(SystemLogEntry::new(
+            SimTime::from_secs(9),
+            0,
+            SystemFault::L2capUnexpectedFrame,
+        ));
+        repo
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let repo = sample_repo();
+        let trace = export_trace(&repo);
+        assert_eq!(trace.lines().count(), 3);
+        let records = import_trace(&trace).expect("valid trace");
+        assert_eq!(records.len(), 3);
+        let rebuilt = repository_from_records(&records);
+        assert_eq!(rebuilt.test_count(), repo.test_count());
+        assert_eq!(rebuilt.system_count(), repo.system_count());
+        assert_eq!(rebuilt.tests(), repo.tests());
+    }
+
+    #[test]
+    fn trace_is_time_sorted() {
+        let trace = export_trace(&sample_repo());
+        let records = import_trace(&trace).unwrap();
+        for w in records.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let repo = sample_repo();
+        let mut trace = export_trace(&repo);
+        trace.push_str("{not json\n");
+        let err = import_trace(&trace).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let repo = sample_repo();
+        let trace = format!("\n{}\n\n", export_trace(&repo));
+        assert_eq!(import_trace(&trace).unwrap().len(), 3);
+    }
+}

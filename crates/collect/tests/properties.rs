@@ -1,0 +1,70 @@
+//! Property-based tests over merge and coalescence.
+
+use btpan_collect::coalesce::coalesce;
+use btpan_collect::entry::{LogRecord, SystemLogEntry};
+use btpan_collect::merge::merge_records;
+use btpan_faults::SystemFault;
+use btpan_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn records_from(times: &[u64]) -> Vec<LogRecord> {
+    let mut sorted: Vec<u64> = times.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            LogRecord::from_system(
+                i as u64,
+                SystemLogEntry::new(SimTime::from_secs(t), 1, SystemFault::HciCommandTimeout),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn coalesce_partitions_input(times in prop::collection::vec(0u64..100_000, 0..300), w in 0u64..5_000) {
+        let records = records_from(&times);
+        let tuples = coalesce(&records, SimDuration::from_secs(w));
+        let total: usize = tuples.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(total, records.len());
+        // Tuples are in time order and non-overlapping beyond the window.
+        for pair in tuples.windows(2) {
+            let last = pair[0].records.last().unwrap().at;
+            let first = pair[1].records.first().unwrap().at;
+            prop_assert!(first.saturating_since(last) > SimDuration::from_secs(w));
+        }
+    }
+
+    #[test]
+    fn coalesce_monotone(times in prop::collection::vec(0u64..100_000, 0..300), w1 in 0u64..5_000, w2 in 0u64..5_000) {
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        let records = records_from(&times);
+        let a = coalesce(&records, SimDuration::from_secs(lo)).len();
+        let b = coalesce(&records, SimDuration::from_secs(hi)).len();
+        prop_assert!(b <= a);
+    }
+
+    #[test]
+    fn intra_tuple_gaps_bounded(times in prop::collection::vec(0u64..50_000, 0..200), w in 1u64..2_000) {
+        let records = records_from(&times);
+        for tuple in coalesce(&records, SimDuration::from_secs(w)) {
+            for pair in tuple.records.windows(2) {
+                prop_assert!(pair[1].at.saturating_since(pair[0].at) <= SimDuration::from_secs(w));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sorted_and_complete(a in prop::collection::vec(0u64..10_000, 0..100),
+                                 b in prop::collection::vec(0u64..10_000, 0..100)) {
+        let ra = records_from(&a);
+        let rb = records_from(&b);
+        let merged = merge_records([ra.clone(), rb.clone()]);
+        prop_assert_eq!(merged.len(), ra.len() + rb.len());
+        for w in merged.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Internal calibration diagnostic: prints failure mix, rates, MTTF.
+use btpan_core::campaign::{Campaign, CampaignConfig};
+use btpan_faults::UserFailure;
+use btpan_recovery::RecoveryPolicy;
+use btpan_sim::time::SimDuration;
+use btpan_workload::WorkloadKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let hours: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    for wl in [WorkloadKind::Random, WorkloadKind::Realistic] {
+        for policy in [RecoveryPolicy::Siras, RecoveryPolicy::RebootOnly, RecoveryPolicy::SirasAndMasking] {
+            let r = Campaign::new(
+                CampaignConfig::paper(42, wl, policy).duration(SimDuration::from_secs(hours * 3600)),
+            )
+            .run();
+            let series = r.piconet_series();
+            let mttf = series.ttf_stats().mean().unwrap_or(0.0);
+            let mttr = series.ttr_stats().mean().unwrap_or(0.0);
+            let tests = r.repository.tests();
+            println!(
+                "== {wl:?} {policy:?}: cycles={} fails={} masked={} covered={} MTTF={mttf:.0}s MTTR={mttr:.1}s cyc/fail={:.1} mean_cycle={:.1}s",
+                r.cycles_run,
+                r.failure_count,
+                r.masked_count,
+                r.covered_count,
+                r.cycles_run as f64 / r.failure_count.max(1) as f64,
+                (hours * 3600 * 6) as f64 / r.cycles_run.max(1) as f64,
+            );
+            let mut counts = [0u64; 10];
+            for t in &tests {
+                counts[t.failure.index()] += 1;
+            }
+            for f in UserFailure::ALL {
+                let c = counts[f.index()];
+                if c > 0 {
+                    println!("   {f}: {c} ({:.1}%)", 100.0 * c as f64 / tests.len() as f64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Command-line interface logic (the `btpan` binary).
+//!
+//! Subcommands:
+//!
+//! * `campaign` — run one campaign and print its headline numbers;
+//!   `--export PATH` writes the collected logs as a JSONL failure trace;
+//! * `analyze PATH` — import a trace and run merge-and-coalesce on it,
+//!   printing the error–failure relationship summary;
+//! * `table4` — the four-policy dependability comparison;
+//! * `markov` — fit and print the analytic availability model.
+//!
+//! All parsing and execution lives here (returning the output as a
+//! string) so it is unit-testable; the binary is a thin wrapper.
+
+use crate::campaign::{Campaign, CampaignConfig};
+use crate::experiment::{self, Scale};
+use crate::machine::NAP_NODE_ID;
+use btpan_collect::relate::RelationshipMatrix;
+use btpan_collect::trace::{export_trace, import_trace, repository_from_records};
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+use btpan_recovery::RecoveryPolicy;
+use btpan_sim::time::SimDuration;
+use btpan_workload::WorkloadKind;
+use std::fmt;
+
+/// CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Unknown subcommand or flag, or missing value.
+    Usage(String),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// Trace parse failure.
+    Trace(btpan_collect::trace::TraceError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "btpan — Bluetooth PAN failure-data toolbench
+
+USAGE:
+  btpan campaign [--workload random|realistic] [--policy reboot|app-reboot|siras|siras-masking]
+                 [--hours H] [--seed S] [--export PATH]
+  btpan analyze PATH [--window SECS]
+  btpan table4 [--seeds N] [--hours H]
+  btpan markov [--seeds N] [--hours H]
+  btpan model
+  btpan help";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("{flag} expects an integer, got `{v}`"))),
+    }
+}
+
+fn parse_workload(args: &[String]) -> Result<WorkloadKind, CliError> {
+    match flag_value(args, "--workload") {
+        None | Some("random") => Ok(WorkloadKind::Random),
+        Some("realistic") => Ok(WorkloadKind::Realistic),
+        Some(other) => Err(CliError::Usage(format!("unknown workload `{other}`"))),
+    }
+}
+
+fn parse_policy(args: &[String]) -> Result<RecoveryPolicy, CliError> {
+    match flag_value(args, "--policy") {
+        None | Some("siras") => Ok(RecoveryPolicy::Siras),
+        Some("reboot") => Ok(RecoveryPolicy::RebootOnly),
+        Some("app-reboot") => Ok(RecoveryPolicy::AppRestartThenReboot),
+        Some("siras-masking") => Ok(RecoveryPolicy::SirasAndMasking),
+        Some(other) => Err(CliError::Usage(format!("unknown policy `{other}`"))),
+    }
+}
+
+fn scale_from(args: &[String]) -> Result<Scale, CliError> {
+    let seeds = parse_u64(args, "--seeds", 2)?;
+    let hours = parse_u64(args, "--hours", 24)?;
+    Ok(Scale {
+        seeds: (1..=seeds).map(|k| k * 7).collect(),
+        duration: SimDuration::from_secs(hours * 3600),
+    })
+}
+
+/// Runs the CLI and returns its output text.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, bad flags, or I/O
+/// problems.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("table4") => cmd_table4(&args[1..]),
+        Some("markov") => cmd_markov(&args[1..]),
+        Some("model") => Ok(render_failure_model()),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+    let workload = parse_workload(args)?;
+    let policy = parse_policy(args)?;
+    let hours = parse_u64(args, "--hours", 12)?;
+    let seed = parse_u64(args, "--seed", 42)?;
+    let result = Campaign::new(
+        CampaignConfig::paper(seed, workload, policy)
+            .duration(SimDuration::from_secs(hours * 3600)),
+    )
+    .run();
+    let series = result.piconet_series();
+    let mttf = series.ttf_stats().mean().unwrap_or(f64::INFINITY);
+    let mttr = series.ttr_stats().mean().unwrap_or(0.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign: {workload:?} WL, {policy:?} policy, seed {seed}, {hours} h\n"
+    ));
+    out.push_str(&format!("cycles:      {}\n", result.cycles_run));
+    out.push_str(&format!("failures:    {}\n", result.failure_count));
+    out.push_str(&format!("masked:      {}\n", result.masked_count));
+    out.push_str(&format!("log items:   {}\n", result.repository.total_count()));
+    out.push_str(&format!("piconet MTTF: {mttf:.1} s, MTTR: {mttr:.1} s\n"));
+    out.push_str(&format!("availability: {:.4}\n", mttf / (mttf + mttr)));
+    if let Some(path) = flag_value(args, "--export") {
+        let trace = export_trace(&result.repository);
+        std::fs::write(path, &trace)?;
+        out.push_str(&format!(
+            "exported {} records to {path}\n",
+            trace.lines().count()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("analyze needs a trace path".into()))?;
+    let window = parse_u64(&args[1..], "--window", 330)?;
+    let text = std::fs::read_to_string(path)?;
+    let records = import_trace(&text).map_err(CliError::Trace)?;
+    let repo = repository_from_records(&records);
+    let nap_records = repo.system_records_of(NAP_NODE_ID);
+    let streams: Vec<_> = repo
+        .reporting_nodes()
+        .into_iter()
+        .map(|n| (n, repo.records_of(n)))
+        .collect();
+    let m = RelationshipMatrix::from_node_logs(
+        &streams,
+        &nap_records,
+        NAP_NODE_ID,
+        SimDuration::from_secs(window),
+    );
+    let mut out = format!(
+        "{} records, {} related failures (window {window} s)\n",
+        records.len(),
+        m.grand_total()
+    );
+    for f in UserFailure::ALL {
+        if m.total(f) == 0 {
+            continue;
+        }
+        let mut best = ("none".to_string(), m.percent_none(f));
+        for c in SystemComponent::ALL {
+            for site in [CauseSite::Local, CauseSite::Nap] {
+                let p = m.percent(f, c, site);
+                if p > best.1 {
+                    best = (format!("{c} ({site})"), p);
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{:<24} n={:<5} dominant: {} {:.1}%\n",
+            f.label(),
+            m.total(f),
+            best.0,
+            best.1
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_table4(args: &[String]) -> Result<String, CliError> {
+    let scale = scale_from(args)?;
+    let report = experiment::table4(&scale);
+    let mut out = format!(
+        "{:<26} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
+        "scenario", "MTTF", "MTTR", "avail", "cov%", "mask%"
+    );
+    for (label, m) in &report.scenarios {
+        out.push_str(&format!(
+            "{label:<26} {:>9.1} {:>9.1} {:>7.3} {:>7.1} {:>7.1}\n",
+            m.mttf_s, m.mttr_s, m.availability, m.coverage_percent, m.masking_percent
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_markov(args: &[String]) -> Result<String, CliError> {
+    let scale = scale_from(args)?;
+    let (model, measured) = experiment::markov_validation(&scale);
+    let mut out = format!(
+        "analytic availability {:.4} vs measured {measured:.4}\n",
+        model.availability()
+    );
+    for (f, share) in model.downtime_ranking() {
+        out.push_str(&format!("{:<24} downtime share {share:.5}\n", f.label()));
+    }
+    Ok(out)
+}
+
+
+/// Renders the full Bluetooth PAN failure model (paper Table 1 plus the
+/// reconstructed Table 2/3 profiles) as Markdown — the reference a
+/// downstream dependability engineer would pin to the wall.
+pub fn render_failure_model() -> String {
+    use btpan_faults::profiles::{cause_profile, SiraProfiles, FAILURE_MIX};
+    use btpan_faults::{FailureGroup, Sira, SystemFault};
+    let mut out = String::from("# Bluetooth PAN failure model\n");
+    for group in [
+        FailureGroup::Search,
+        FailureGroup::Connect,
+        FailureGroup::DataTransfer,
+    ] {
+        out.push_str(&format!("\n## {group:?} phase\n\n"));
+        for f in UserFailure::ALL.iter().filter(|f| f.group() == group) {
+            out.push_str(&format!(
+                "### {} ({:.1} % of failures)\n\n",
+                f.label(),
+                FAILURE_MIX[f.index()]
+            ));
+            let profile = cause_profile(*f);
+            if profile.causes().is_empty() {
+                out.push_str("- no related system-level evidence (paper: none found)\n");
+            } else {
+                for c in profile.causes() {
+                    out.push_str(&format!(
+                        "- {:.1} % related to {} errors ({})\n",
+                        c.percent, c.component, c.site
+                    ));
+                }
+                if profile.none_percent() > 0.0 {
+                    out.push_str(&format!(
+                        "- {:.1} % with no system evidence\n",
+                        profile.none_percent()
+                    ));
+                }
+            }
+            match SiraProfiles::row(*f) {
+                None => out.push_str("- recovery: none defined (unrecoverable)\n"),
+                Some(row) => {
+                    let (best_i, best) = row
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .expect("7 actions");
+                    out.push_str(&format!(
+                        "- most effective recovery: {} ({best:.1} % of cases); coverage by SIRAs 1-3: {:.1} %\n",
+                        Sira::ALL[best_i].label(),
+                        SiraProfiles::coverage_1_to_3(*f)
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("\n## System-level error types\n\n");
+    for s in SystemFault::ALL {
+        out.push_str(&format!("- `{}` — {}\n", s.component(), s.log_message()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn campaign_runs_and_reports() {
+        let out = run(&args(&["campaign", "--hours", "2", "--seed", "3"])).unwrap();
+        assert!(out.contains("piconet MTTF"));
+        assert!(out.contains("cycles:"));
+    }
+
+    #[test]
+    fn bad_flag_values_error() {
+        let err = run(&args(&["campaign", "--hours", "soon"])).unwrap_err();
+        assert!(err.to_string().contains("--hours"));
+        let err = run(&args(&["campaign", "--policy", "prayer"])).unwrap_err();
+        assert!(err.to_string().contains("unknown policy"));
+        let err = run(&args(&["campaign", "--workload", "cats"])).unwrap_err();
+        assert!(err.to_string().contains("unknown workload"));
+    }
+
+    #[test]
+    fn export_then_analyze_round_trip() {
+        let path = std::env::temp_dir().join("btpan_cli_trace_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let out = run(&args(&[
+            "campaign", "--hours", "6", "--seed", "9", "--export", path_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("exported"));
+        let out = run(&args(&["analyze", path_s])).unwrap();
+        assert!(out.contains("related failures"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_missing_file_is_io_error() {
+        let err = run(&args(&["analyze", "/nonexistent/trace.jsonl"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn model_renders_all_failure_types() {
+        let md = run(&args(&["model"])).unwrap();
+        for f in UserFailure::ALL {
+            assert!(md.contains(f.label()), "missing {f}");
+        }
+        assert!(md.contains("most effective recovery"));
+        assert!(md.contains("unrecoverable"));
+        assert!(md.contains("HOTPLUG"));
+    }
+
+    #[test]
+    fn analyze_requires_path() {
+        let err = run(&args(&["analyze"])).unwrap_err();
+        assert!(err.to_string().contains("needs a trace path"));
+    }
+}

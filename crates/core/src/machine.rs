@@ -1,0 +1,192 @@
+//! The testbed machines of paper Table 1 / Figure 1.
+//!
+//! Both testbeds share the same seven-machine configuration: the master
+//! `Giallo` acts as NAP; the six PANUs range from commodity Linux PCs
+//! over USB dongles, through the Windows XP machine on the Broadcom
+//! stack (the native XP stack offers no PAN API), to two Linux PDAs on
+//! BCSP. Antenna positions are fixed at 0.5 m, 5 m and 7 m from the NAP.
+
+use btpan_faults::HostQuirks;
+use btpan_stack::host::{HostConfig, StackVariant};
+use btpan_stack::transport::TransportKind;
+
+/// Role of a machine in the PAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineRole {
+    /// Network Access Point (piconet master).
+    Nap,
+    /// PAN User (slave).
+    Panu,
+}
+
+/// One machine with its role.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Stack/transport/quirk configuration.
+    pub config: HostConfig,
+    /// NAP or PANU.
+    pub role: MachineRole,
+}
+
+/// Node id of the NAP (`Giallo`).
+pub const NAP_NODE_ID: u64 = 0;
+
+/// Builds the paper's seven machines.
+///
+/// | Host   | OS / stack              | Transport | Distance | Quirks |
+/// |--------|-------------------------|-----------|----------|--------|
+/// | Giallo | Mandrake / BlueZ 2.10   | USB       | —  (NAP) | —      |
+/// | Verde  | Mandrake / BlueZ 2.10   | USB       | 0.5 m    | —      |
+/// | Miseno | Debian / BlueZ 2.10     | USB       | 5 m      | —      |
+/// | Azzurro| Fedora / BlueZ 2.10     | USB       | 7 m      | HAL bug (bind) |
+/// | Win    | XP SP2 / Broadcom       | USB       | 0.5 m    | bind-prone |
+/// | Ipaq   | Familiar / BlueZ 2.10   | BCSP      | 5 m      | PDA    |
+/// | Zaurus | OpenZaurus / BlueZ 2.10 | BCSP      | 7 m      | PDA    |
+pub fn paper_machines() -> Vec<Machine> {
+    let mk = |name: &str,
+              node_id: u64,
+              stack: StackVariant,
+              transport: TransportKind,
+              quirks: HostQuirks,
+              distance_m: f64,
+              role: MachineRole| Machine {
+        config: HostConfig {
+            name: name.to_string(),
+            node_id,
+            stack,
+            transport,
+            quirks,
+            distance_m,
+        },
+        role,
+    };
+    vec![
+        mk(
+            "Giallo",
+            NAP_NODE_ID,
+            StackVariant::BlueZ,
+            TransportKind::Usb,
+            HostQuirks::linux_pc(),
+            0.0,
+            MachineRole::Nap,
+        ),
+        mk(
+            "Verde",
+            1,
+            StackVariant::BlueZ,
+            TransportKind::Usb,
+            HostQuirks::linux_pc(),
+            0.5,
+            MachineRole::Panu,
+        ),
+        mk(
+            "Miseno",
+            2,
+            StackVariant::BlueZ,
+            TransportKind::Usb,
+            HostQuirks::linux_pc(),
+            5.0,
+            MachineRole::Panu,
+        ),
+        mk(
+            "Azzurro",
+            3,
+            StackVariant::BlueZ,
+            TransportKind::Usb,
+            HostQuirks::fedora_hal_bug(),
+            7.0,
+            MachineRole::Panu,
+        ),
+        mk(
+            "Win",
+            4,
+            StackVariant::Broadcom,
+            TransportKind::Usb,
+            HostQuirks::windows_broadcom(),
+            0.5,
+            MachineRole::Panu,
+        ),
+        mk(
+            "Ipaq",
+            5,
+            StackVariant::BlueZ,
+            TransportKind::Bcsp,
+            HostQuirks::pda(),
+            5.0,
+            MachineRole::Panu,
+        ),
+        mk(
+            "Zaurus",
+            6,
+            StackVariant::BlueZ,
+            TransportKind::Bcsp,
+            HostQuirks::pda(),
+            7.0,
+            MachineRole::Panu,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_machines_one_nap() {
+        let machines = paper_machines();
+        assert_eq!(machines.len(), 7);
+        let naps: Vec<_> = machines
+            .iter()
+            .filter(|m| m.role == MachineRole::Nap)
+            .collect();
+        assert_eq!(naps.len(), 1);
+        assert_eq!(naps[0].config.name, "Giallo");
+        assert_eq!(naps[0].config.node_id, NAP_NODE_ID);
+    }
+
+    #[test]
+    fn quirk_assignment_matches_fig4() {
+        let machines = paper_machines();
+        let by_name = |n: &str| {
+            machines
+                .iter()
+                .find(|m| m.config.name == n)
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        assert!(by_name("Azzurro").config.quirks.bind_prone);
+        assert!(by_name("Win").config.quirks.bind_prone);
+        assert!(!by_name("Verde").config.quirks.bind_prone);
+        assert!(by_name("Ipaq").config.quirks.uses_bcsp);
+        assert!(by_name("Zaurus").config.quirks.uses_bcsp);
+        assert!(!by_name("Miseno").config.quirks.uses_bcsp);
+    }
+
+    #[test]
+    fn distances_cover_the_three_positions() {
+        let machines = paper_machines();
+        let mut distances: Vec<f64> = machines
+            .iter()
+            .filter(|m| m.role == MachineRole::Panu)
+            .map(|m| m.config.distance_m)
+            .collect();
+        distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(distances, vec![0.5, 0.5, 5.0, 5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn node_ids_unique() {
+        let machines = paper_machines();
+        let mut ids: Vec<u64> = machines.iter().map(|m| m.config.node_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn windows_runs_broadcom() {
+        let machines = paper_machines();
+        let win = machines.iter().find(|m| m.config.name == "Win").unwrap();
+        assert_eq!(win.config.stack, StackVariant::Broadcom);
+        assert_eq!(win.config.transport, TransportKind::Usb);
+    }
+}

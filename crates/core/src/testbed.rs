@@ -1,0 +1,115 @@
+//! Testbed assembly: one NAP plus six PANUs in a piconet.
+
+use crate::machine::{paper_machines, Machine, MachineRole};
+use btpan_baseband::piconet::Piconet;
+use btpan_stack::host::BtHost;
+use btpan_stack::sdp::SdpDatabase;
+use btpan_workload::WorkloadKind;
+
+/// A fully assembled testbed.
+#[derive(Debug)]
+pub struct Testbed {
+    /// Which workload this testbed runs (the paper deployed one per WL).
+    pub workload: WorkloadKind,
+    /// The NAP host (`Giallo`).
+    pub nap: BtHost,
+    /// The six PANU hosts.
+    pub panus: Vec<BtHost>,
+    /// The piconet, mastered by the NAP.
+    pub piconet: Piconet,
+}
+
+impl Testbed {
+    /// Builds the paper testbed for `workload`.
+    pub fn paper(workload: WorkloadKind) -> Self {
+        Self::from_machines(workload, paper_machines())
+    }
+
+    /// Builds a testbed from an explicit machine list.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one machine has the NAP role and at most 7
+    /// PANUs exist.
+    pub fn from_machines(workload: WorkloadKind, machines: Vec<Machine>) -> Self {
+        let mut nap = None;
+        let mut panus = Vec::new();
+        for m in machines {
+            match m.role {
+                MachineRole::Nap => {
+                    assert!(nap.is_none(), "exactly one NAP expected");
+                    nap = Some(BtHost::new(m.config));
+                }
+                MachineRole::Panu => panus.push(BtHost::new(m.config)),
+            }
+        }
+        let mut nap = nap.expect("testbed needs a NAP");
+        assert!(panus.len() <= 7, "a piconet holds at most 7 active slaves");
+        // The NAP advertises its service and knows every PANU in range.
+        nap.sdp = SdpDatabase::nap_server(nap.node_id());
+        let mut piconet = Piconet::new(nap.node_id());
+        for p in &mut panus {
+            p.link_manager.add_neighbour(nap.node_id());
+            nap.link_manager.add_neighbour(p.node_id());
+            piconet
+                .join(p.node_id())
+                .expect("six PANUs fit the piconet");
+        }
+        Testbed {
+            workload,
+            nap,
+            panus,
+            piconet,
+        }
+    }
+
+    /// The PANU with the given node id.
+    pub fn panu(&self, node_id: u64) -> Option<&BtHost> {
+        self.panus.iter().find(|p| p.node_id() == node_id)
+    }
+
+    /// Number of PANUs.
+    pub fn panu_count(&self) -> usize {
+        self.panus.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_stack::sdp::UUID_NAP;
+    use crate::machine::NAP_NODE_ID;
+
+    #[test]
+    fn paper_testbed_assembles() {
+        let tb = Testbed::paper(WorkloadKind::Random);
+        assert_eq!(tb.panu_count(), 6);
+        assert_eq!(tb.piconet.master(), NAP_NODE_ID);
+        assert_eq!(tb.piconet.slave_count(), 6);
+        assert!(tb.nap.sdp.lookup(UUID_NAP).is_some());
+        assert!(tb.panu(1).is_some());
+        assert!(tb.panu(99).is_none());
+    }
+
+    #[test]
+    fn panus_know_the_nap() {
+        let tb = Testbed::paper(WorkloadKind::Realistic);
+        for p in &tb.panus {
+            // neighbour lists are set (inquiry can find the NAP)
+            let mut lm = p.link_manager.clone();
+            let mut rng = btpan_sim::prelude::SimRng::seed_from(1);
+            let res = lm.inquiry(8, 1.0, &mut rng);
+            assert!(res.devices.contains(&NAP_NODE_ID), "{}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a NAP")]
+    fn testbed_without_nap_rejected() {
+        let machines: Vec<Machine> = paper_machines()
+            .into_iter()
+            .filter(|m| m.role == MachineRole::Panu)
+            .collect();
+        let _ = Testbed::from_machines(WorkloadKind::Random, machines);
+    }
+}

@@ -1,0 +1,524 @@
+//! Calibrated fault activation for the control-plane workload phases.
+//!
+//! Each `BlueTest` cycle walks through inquiry → SDP search → L2CAP
+//! connect → PAN connect → bind → role switch → transfer. The injector
+//! decides, per phase execution, whether a user-level failure manifests
+//! (substituting for 18 months of real field faults), which system-level
+//! cause it has (Table 2 ground truth from [`crate::profiles`]), and
+//! which concrete [`SystemFault`] entries the cause writes into which
+//! system log (local or NAP — error propagation).
+//!
+//! Base rates are calibrated so that, with the paper's phase
+//! frequencies (inquiry and SDP each performed with probability ½, the
+//! connect chain once per cycle) and the testbed composition (2 of 12
+//! PANU hosts bind-prone, 4 of 12 on BCSP), the per-cycle failure
+//! probability is ≈ 1.2 % (the paper reports *piconet-level* MTTF —
+//! "each 30 minutes on average a node in the piconet fails" — so six
+//! PANUs share the 630–845 s budget) with type shares equal to
+//! [`crate::profiles::FAILURE_MIX`] — which yields the paper's baseline
+//! MTTF ≈ 630–845 s at a ~45 s mean cycle. Packet loss and data
+//! mismatch are *not* injected here: they emerge from `btpan-baseband`
+//! (plus the latent/stress models); the injector only tops up the
+//! residual link-break hazard so totals stay calibrated.
+
+use crate::profiles::{cause_profile, CauseProfile};
+use crate::quirks::HostQuirks;
+use crate::types::{CauseSite, SystemComponent, SystemFault, UserFailure};
+use btpan_sim::prelude::*;
+
+/// A workload phase the injector can be consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Device inquiry/scan.
+    Inquiry,
+    /// SDP service search (can fail outright, or fail to find the NAP).
+    SdpSearch,
+    /// L2CAP connection establishment.
+    L2capConnect,
+    /// PAN (BNEP) connection on top of L2CAP. The flag records whether
+    /// an SDP search preceded it in this cycle — 96.5 % of PAN-connect
+    /// failures manifest when it did not.
+    PanConnect {
+        /// True when the cycle performed an SDP search first.
+        sdp_done: bool,
+    },
+    /// Binding the IP socket to the BNEP interface.
+    Bind,
+    /// Issuing the master/slave switch request.
+    SwitchRoleRequest,
+    /// Completion of the switch command.
+    SwitchRoleCommand,
+}
+
+/// Per-phase base activation probabilities (average host).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionConfig {
+    /// P(inquiry fails) per executed inquiry.
+    pub inquiry_fail: f64,
+    /// P(SDP search aborts) per executed search.
+    pub sdp_search_fail: f64,
+    /// P(SDP completes but misses the NAP) per executed search.
+    pub nap_not_found: f64,
+    /// P(L2CAP connect fails) per attempt.
+    pub connect_fail: f64,
+    /// P(PAN connect fails) per attempt *without* a prior SDP search.
+    pub pan_fail_no_sdp: f64,
+    /// P(PAN connect fails) per attempt *with* a prior SDP search.
+    pub pan_fail_with_sdp: f64,
+    /// P(bind fails) on a bind-prone host; zero elsewhere.
+    pub bind_fail_prone: f64,
+    /// P(switch-role request lost) per attempt.
+    pub sw_role_request_fail: f64,
+    /// P(switch-role command aborts) per attempt on a BCSP host.
+    pub sw_role_cmd_bcsp: f64,
+    /// P(switch-role command aborts) per attempt on a USB host.
+    pub sw_role_cmd_usb: f64,
+    /// Residual link-break hazard per transferred payload, on top of the
+    /// baseband drop process (interference broken links the baseband
+    /// model does not capture).
+    pub link_break_per_payload: f64,
+    /// P(stack-data-corruption data mismatch) per transfer cycle, on top
+    /// of CRC-escaping channel corruption.
+    pub mismatch_per_cycle: f64,
+    /// Global hazard scale (1.0 = paper calibration). The dependability
+    /// experiments scale this to sweep failure rates.
+    pub hazard_scale: f64,
+}
+
+impl Default for InjectionConfig {
+    fn default() -> Self {
+        InjectionConfig::paper_calibrated()
+    }
+}
+
+impl InjectionConfig {
+    /// The calibration described in the module docs.
+    pub fn paper_calibrated() -> Self {
+        InjectionConfig {
+            inquiry_fail: 2.2e-5,
+            sdp_search_fail: 1.1e-4,
+            nap_not_found: 4.3e-3,
+            connect_fail: 6.5e-4,
+            pan_fail_no_sdp: 2.2e-5,
+            pan_fail_with_sdp: 7.0e-7,
+            bind_fail_prone: 1.1e-2,
+            sw_role_request_fail: 8.0e-5,
+            sw_role_cmd_bcsp: 5.4e-5,
+            sw_role_cmd_usb: 6.7e-6,
+            link_break_per_payload: 6.2e-7,
+            mismatch_per_cycle: 9.1e-5,
+            hazard_scale: 1.0,
+        }
+    }
+
+    /// Scales every hazard by `scale` (for rate sweeps and ablations).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale >= 0.0, "hazard scale must be non-negative");
+        self.hazard_scale = scale;
+        self
+    }
+}
+
+/// One injected user-level failure, with its sampled system-level cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFailure {
+    /// What the user perceives.
+    pub failure: UserFailure,
+    /// The related system-level error, if any ("no relationship found"
+    /// failures like inquiry/scan carry none).
+    pub cause: Option<(SystemComponent, CauseSite)>,
+}
+
+/// The fault injection engine. One instance per campaign; host variation
+/// enters through [`HostQuirks`] at each call.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: InjectionConfig,
+    profiles: Vec<CauseProfile>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given configuration.
+    pub fn new(cfg: InjectionConfig) -> Self {
+        let profiles = UserFailure::ALL.iter().map(|&f| cause_profile(f)).collect();
+        FaultInjector { cfg, profiles }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &InjectionConfig {
+        &self.cfg
+    }
+
+    fn p(&self, base: f64) -> f64 {
+        (base * self.cfg.hazard_scale).clamp(0.0, 1.0)
+    }
+
+    /// Consults the injector about one phase execution on a host with
+    /// `quirks`. Returns the manifested failure with its sampled cause,
+    /// or `None` when the phase proceeds cleanly.
+    pub fn check_phase(
+        &self,
+        phase: Phase,
+        quirks: HostQuirks,
+        rng: &mut SimRng,
+    ) -> Option<InjectedFailure> {
+        let failure = match phase {
+            Phase::Inquiry => rng
+                .chance(self.p(self.cfg.inquiry_fail))
+                .then_some(UserFailure::InquiryScanFailed),
+            Phase::SdpSearch => {
+                if rng.chance(self.p(self.cfg.sdp_search_fail)) {
+                    Some(UserFailure::SdpSearchFailed)
+                } else if rng.chance(self.p(self.cfg.nap_not_found)) {
+                    Some(UserFailure::NapNotFound)
+                } else {
+                    None
+                }
+            }
+            Phase::L2capConnect => rng
+                .chance(self.p(self.cfg.connect_fail))
+                .then_some(UserFailure::ConnectFailed),
+            Phase::PanConnect { sdp_done } => {
+                let base = if sdp_done {
+                    self.cfg.pan_fail_with_sdp
+                } else {
+                    self.cfg.pan_fail_no_sdp
+                };
+                rng.chance(self.p(base))
+                    .then_some(UserFailure::PanConnectFailed)
+            }
+            Phase::Bind => {
+                let base = if quirks.bind_prone {
+                    self.cfg.bind_fail_prone
+                } else {
+                    0.0
+                };
+                rng.chance(self.p(base)).then_some(UserFailure::BindFailed)
+            }
+            Phase::SwitchRoleRequest => rng
+                .chance(self.p(self.cfg.sw_role_request_fail))
+                .then_some(UserFailure::SwitchRoleRequestFailed),
+            Phase::SwitchRoleCommand => {
+                let base = if quirks.uses_bcsp {
+                    self.cfg.sw_role_cmd_bcsp
+                } else {
+                    self.cfg.sw_role_cmd_usb
+                };
+                rng.chance(self.p(base))
+                    .then_some(UserFailure::SwitchRoleCommandFailed)
+            }
+        }?;
+        Some(self.materialize(failure, quirks, rng))
+    }
+
+    /// Residual link-break probability for a transfer of `payloads`
+    /// baseband payloads (top-up over the baseband drop process).
+    pub fn link_break_probability(&self, payloads: u64) -> f64 {
+        let per = self.p(self.cfg.link_break_per_payload);
+        1.0 - (1.0 - per).powf(payloads as f64)
+    }
+
+    /// P(stack-corruption data mismatch) for one transfer cycle.
+    pub fn mismatch_probability(&self) -> f64 {
+        self.p(self.cfg.mismatch_per_cycle)
+    }
+
+    /// Builds the full injected record for a user failure that has
+    /// already been decided (used by the transfer path where the
+    /// *trigger* is the baseband/latent/stress machinery).
+    pub fn materialize(
+        &self,
+        failure: UserFailure,
+        quirks: HostQuirks,
+        rng: &mut SimRng,
+    ) -> InjectedFailure {
+        let mut cause = self.profiles[failure.index()].sample(rng);
+        // A host without BCSP cannot log BCSP errors; resample onto HCI
+        // (the transport-adjacent component) keeping the site.
+        if let Some((SystemComponent::Bcsp, site)) = cause {
+            if !quirks.uses_bcsp {
+                cause = Some((SystemComponent::Hci, site));
+            }
+        }
+        InjectedFailure { failure, cause }
+    }
+
+    /// Picks the concrete [`SystemFault`] a component logs for a given
+    /// user failure (context-dependent: e.g. HCI errors behind a bind
+    /// failure are invalid-handle — the socket binds before the L2CAP
+    /// handle exists — while HCI errors behind connect/switch-role are
+    /// command timeouts on a busy device).
+    pub fn system_fault_for(
+        &self,
+        component: SystemComponent,
+        failure: UserFailure,
+        rng: &mut SimRng,
+    ) -> SystemFault {
+        match component {
+            SystemComponent::Hci => match failure {
+                UserFailure::BindFailed => SystemFault::HciInvalidHandle,
+                UserFailure::SwitchRoleRequestFailed => SystemFault::HciCommandTimeout,
+                UserFailure::SwitchRoleCommandFailed => SystemFault::HciInvalidHandle,
+                UserFailure::ConnectFailed | UserFailure::PacketLoss => {
+                    if rng.chance(0.8) {
+                        SystemFault::HciCommandTimeout
+                    } else {
+                        SystemFault::HciInvalidHandle
+                    }
+                }
+                _ => SystemFault::HciCommandTimeout,
+            },
+            SystemComponent::L2cap => SystemFault::L2capUnexpectedFrame,
+            SystemComponent::Sdp => match failure {
+                UserFailure::NapNotFound => SystemFault::SdpServiceUnavailable,
+                _ => {
+                    if rng.chance(0.6) {
+                        SystemFault::SdpConnectionRefused
+                    } else {
+                        SystemFault::SdpServiceUnavailable
+                    }
+                }
+            },
+            SystemComponent::Bnep => match failure {
+                UserFailure::SwitchRoleCommandFailed => SystemFault::BnepOccupied,
+                _ => {
+                    if rng.chance(0.5) {
+                        SystemFault::BnepModuleMissing
+                    } else {
+                        SystemFault::BnepOccupied
+                    }
+                }
+            },
+            SystemComponent::Bcsp => {
+                if rng.chance(0.7) {
+                    SystemFault::BcspOutOfOrder
+                } else {
+                    SystemFault::BcspMissing
+                }
+            }
+            SystemComponent::Usb => SystemFault::UsbAddressRejected,
+            SystemComponent::Hotplug => SystemFault::HotplugTimeout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(0xFA11)
+    }
+
+    #[test]
+    fn bind_failures_only_on_prone_hosts() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated());
+        let mut r = rng();
+        let clean = HostQuirks::linux_pc();
+        for _ in 0..10_000 {
+            assert!(inj.check_phase(Phase::Bind, clean, &mut r).is_none());
+        }
+        let prone = HostQuirks::fedora_hal_bug();
+        let hits = (0..10_000)
+            .filter(|_| inj.check_phase(Phase::Bind, prone, &mut r).is_some())
+            .count();
+        let freq = hits as f64 / 10_000.0;
+        assert!((freq - 0.011).abs() < 0.003, "freq {freq}");
+    }
+
+    #[test]
+    fn pan_connect_mostly_fails_without_sdp() {
+        let inj = FaultInjector::new(
+            // scale up so the test converges quickly
+            InjectionConfig::paper_calibrated().scaled(100.0),
+        );
+        let mut r = rng();
+        let q = HostQuirks::linux_pc();
+        let n = 50_000;
+        let without = (0..n)
+            .filter(|_| {
+                matches!(
+                    inj.check_phase(Phase::PanConnect { sdp_done: false }, q, &mut r),
+                    Some(InjectedFailure {
+                        failure: UserFailure::PanConnectFailed,
+                        ..
+                    })
+                )
+            })
+            .count();
+        let with = (0..n)
+            .filter(|_| {
+                inj.check_phase(Phase::PanConnect { sdp_done: true }, q, &mut r)
+                    .is_some()
+            })
+            .count();
+        assert!(without > with * 10, "without {without} with {with}");
+    }
+
+    #[test]
+    fn bcsp_hosts_dominate_switch_role_command() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated().scaled(50.0));
+        let mut r = rng();
+        let n = 40_000;
+        let pda = (0..n)
+            .filter(|_| {
+                inj.check_phase(Phase::SwitchRoleCommand, HostQuirks::pda(), &mut r)
+                    .is_some()
+            })
+            .count();
+        let pc = (0..n)
+            .filter(|_| {
+                inj.check_phase(Phase::SwitchRoleCommand, HostQuirks::linux_pc(), &mut r)
+                    .is_some()
+            })
+            .count();
+        assert!(pda > pc * 4, "pda {pda} pc {pc}");
+    }
+
+    #[test]
+    fn causes_follow_profiles() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated());
+        let mut r = rng();
+        let q = HostQuirks::linux_pc();
+        let n = 30_000;
+        let mut hci = 0;
+        for _ in 0..n {
+            let inj_f = inj.materialize(UserFailure::ConnectFailed, q, &mut r);
+            if matches!(inj_f.cause, Some((SystemComponent::Hci, _))) {
+                hci += 1;
+            }
+        }
+        let frac = hci as f64 / n as f64;
+        assert!((frac - 0.851).abs() < 0.01, "HCI frac {frac}");
+    }
+
+    #[test]
+    fn bcsp_causes_remapped_on_usb_hosts() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated());
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let f = inj.materialize(
+                UserFailure::SwitchRoleCommandFailed,
+                HostQuirks::linux_pc(),
+                &mut r,
+            );
+            assert!(
+                !matches!(f.cause, Some((SystemComponent::Bcsp, _))),
+                "USB host logged BCSP"
+            );
+        }
+        // PDAs do log BCSP causes.
+        let saw_bcsp = (0..5_000).any(|_| {
+            matches!(
+                inj.materialize(UserFailure::SwitchRoleCommandFailed, HostQuirks::pda(), &mut r)
+                    .cause,
+                Some((SystemComponent::Bcsp, _))
+            )
+        });
+        assert!(saw_bcsp);
+    }
+
+    #[test]
+    fn link_break_probability_composes() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated());
+        assert_eq!(inj.link_break_probability(0), 0.0);
+        let p1 = inj.link_break_probability(100);
+        let p2 = inj.link_break_probability(1000);
+        assert!(p1 > 0.0 && p2 > p1 && p2 < 1.0);
+    }
+
+    #[test]
+    fn hazard_scale_zero_silences_everything() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated().scaled(0.0));
+        let mut r = rng();
+        for _ in 0..2_000 {
+            assert!(inj
+                .check_phase(Phase::SdpSearch, HostQuirks::pda(), &mut r)
+                .is_none());
+        }
+        assert_eq!(inj.link_break_probability(10_000), 0.0);
+        assert_eq!(inj.mismatch_probability(), 0.0);
+    }
+
+    #[test]
+    fn context_dependent_system_faults() {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated());
+        let mut r = rng();
+        assert_eq!(
+            inj.system_fault_for(SystemComponent::Hci, UserFailure::BindFailed, &mut r),
+            SystemFault::HciInvalidHandle
+        );
+        assert_eq!(
+            inj.system_fault_for(
+                SystemComponent::Hci,
+                UserFailure::SwitchRoleRequestFailed,
+                &mut r
+            ),
+            SystemFault::HciCommandTimeout
+        );
+        assert_eq!(
+            inj.system_fault_for(SystemComponent::Hotplug, UserFailure::BindFailed, &mut r),
+            SystemFault::HotplugTimeout
+        );
+        assert_eq!(
+            inj.system_fault_for(SystemComponent::Sdp, UserFailure::NapNotFound, &mut r),
+            SystemFault::SdpServiceUnavailable
+        );
+    }
+
+    #[test]
+    fn phase_mix_approximates_failure_mix() {
+        // With phase frequencies of the paper's workload and the testbed
+        // host composition, the injected type shares should track
+        // FAILURE_MIX for the control-plane types.
+        use crate::profiles::FAILURE_MIX;
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated());
+        let mut r = rng();
+        let hosts = [
+            HostQuirks::linux_pc(),
+            HostQuirks::linux_pc(),
+            HostQuirks::fedora_hal_bug(),
+            HostQuirks::windows_broadcom(),
+            HostQuirks::pda(),
+            HostQuirks::pda(),
+        ];
+        let mut counts = [0u64; 10];
+        let cycles = 600_000;
+        for i in 0..cycles {
+            let q = hosts[i % hosts.len()];
+            let sdp = r.chance(0.5);
+            let mut phases: Vec<Phase> = Vec::new();
+            if r.chance(0.5) {
+                phases.push(Phase::Inquiry);
+            }
+            if sdp {
+                phases.push(Phase::SdpSearch);
+            }
+            phases.extend([
+                Phase::L2capConnect,
+                Phase::PanConnect { sdp_done: sdp },
+                Phase::Bind,
+                Phase::SwitchRoleRequest,
+                Phase::SwitchRoleCommand,
+            ]);
+            for ph in phases {
+                if let Some(f) = inj.check_phase(ph, q, &mut r) {
+                    counts[f.failure.index()] += 1;
+                    break; // cycle aborts at first failure
+                }
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        assert!(total > 2_000, "too few injected failures: {total}");
+        // shares are noisy at these rates; compare with wide bands
+        // Control-plane share of the mix (packet loss + mismatch are
+        // produced elsewhere): renormalize and compare the big rows.
+        let control_mix: f64 = FAILURE_MIX.iter().sum::<f64>() - FAILURE_MIX[8] - FAILURE_MIX[9];
+        let expect_bind = FAILURE_MIX[5] / control_mix;
+        let got_bind = counts[5] as f64 / total as f64;
+        assert!((got_bind - expect_bind).abs() < 0.06, "bind {got_bind} vs {expect_bind}");
+        let expect_nnf = FAILURE_MIX[2] / control_mix;
+        let got_nnf = counts[2] as f64 / total as f64;
+        assert!((got_nnf - expect_nnf).abs() < 0.06, "nnf {got_nnf} vs {expect_nnf}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # btpan-faults
+//!
+//! The Bluetooth-PAN failure model of the DSN'06 study and the fault
+//! injection that substitutes for 18 months of field exposure.
+//!
+//! * [`types`] — the taxonomy of paper Table 1: ten user-level failure
+//!   types in three groups, eleven system-level failure (error) types in
+//!   seven components, and the local-vs-NAP cause site used to study
+//!   error propagation;
+//! * [`profiles`] — the paper's published conditional distributions
+//!   (Table 2 cause profiles, Table 3 SIRA-effectiveness profiles, the
+//!   overall failure mix) encoded as ground truth for injection. Where
+//!   the source PDF is garbled, cells are **reconstructed** to satisfy
+//!   every constraint stated in the prose — see each constant's docs;
+//! * [`injector`] — samples, per workload phase, whether a failure
+//!   manifests, its system-level cause, and the system-log entries that
+//!   cause leaves behind (including entries on the NAP for propagated
+//!   causes);
+//! * [`latent`] — latent connection-setup faults with decreasing hazard
+//!   (Weibull k<1): the mechanism behind Fig. 3b ("young connections
+//!   fail more") and the MTTF gap between recovery policies;
+//! * [`stress`] — channel-stress amplification for sustained-transfer
+//!   applications (Fig. 3c: P2P and streaming fail most);
+//! * [`quirks`] — per-host modifiers (Fig. 4: bind failures only on the
+//!   Fedora and Windows machines, switch-role failures concentrated on
+//!   the BCSP-transport PDAs).
+
+pub mod injector;
+pub mod latent;
+pub mod profiles;
+pub mod quirks;
+pub mod stress;
+pub mod types;
+
+pub use injector::{FaultInjector, InjectedFailure, InjectionConfig};
+pub use latent::LatentFaultModel;
+pub use profiles::{CauseProfile, SiraProfiles, FAILURE_MIX};
+pub use quirks::HostQuirks;
+pub use stress::StressModel;
+pub use types::{CauseSite, FailureGroup, Sira, SystemComponent, SystemFault, UserFailure};

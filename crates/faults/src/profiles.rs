@@ -1,0 +1,443 @@
+//! Ground-truth conditional distributions from the paper's Tables 2–3.
+//!
+//! These constants play a double role:
+//!
+//! 1. the fault **injector** samples from them, substituting for the 18
+//!    months of real field exposure the paper had (repro band 2:
+//!    hardware/testbed gate);
+//! 2. the **analysis pipeline** re-derives them from the simulated logs
+//!    through merge-and-coalesce, validating the paper's methodology
+//!    end-to-end (the `repro_table2` / `repro_table3` binaries print
+//!    paper-vs-measured).
+//!
+//! ## Reconstruction notes
+//!
+//! The available PDF extraction of Tables 2 and 3 is partially garbled.
+//! Cell values below are **reconstructed** by jointly solving:
+//!
+//! * every number stated unambiguously in the prose — HCI causes 49.9 %
+//!   of user failures; Connect-failed is 85.1 % HCI; PAN-connect-failed
+//!   is 96.5 % SDP; switch-role-request-failed is 91.1 % HCI command
+//!   timeouts; switch-role-command-failed is 49.7 % BCSP (plus 0.9/4.4 %
+//!   L2CAP local/NAP, 10.9/2.4 % HCI local/NAP, 18.8 % BNEP);
+//!   NAP-not-found recovers by BT-stack reset in 61.4 % of cases; packet
+//!   loss recovers by IP-socket reset in 5.9 % of cases; Connect-failed
+//!   recovers at severity ≥ app-restart in 84.6 % of cases;
+//! * the Table 2 column totals readable in the extraction
+//!   (HCI 49.9, SDP 21.1, L2CAP 11.4, BNEP 8.5, HOTPLUG 7.0, BCSP 1.1,
+//!   USB 1.0 — they sum to 100);
+//! * Table 4's *58 % masking* row — the three masked failure types
+//!   (bind, NAP-not-found, switch-role-command) plus the SDP-first
+//!   practice must jointly account for ≈ 58 % of all failures;
+//! * Table 4's *58.4 % coverage* row — failures recovered by SIRAs 1–3
+//!   (without app restart or reboot) must total ≈ 58.4 %.
+//!
+//! The resulting failure mix and profiles satisfy all of the above
+//! simultaneously to within ≲ 1 percentage point (L2CAP total lands at
+//! 10.6 vs 11.4). EXPERIMENTS.md tabulates paper-vs-reconstructed-vs-
+//! measured for every cell.
+
+use crate::types::{CauseSite, SystemComponent, UserFailure};
+use btpan_sim::prelude::*;
+
+/// One (component, site) cause option with its percentage weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CauseWeight {
+    /// Component whose error relates to the user failure.
+    pub component: SystemComponent,
+    /// Whether the error is recorded locally or on the NAP.
+    pub site: CauseSite,
+    /// Percentage weight within the failure's row (rows sum to 100).
+    pub percent: f64,
+}
+
+/// The cause profile of one user failure: Table 2 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CauseProfile {
+    failure: UserFailure,
+    causes: Vec<CauseWeight>,
+    /// Percentage of occurrences with no related system entry.
+    none_percent: f64,
+}
+
+impl CauseProfile {
+    /// Builds a profile; weights plus `none_percent` must total 100 ± 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not sum to ≈ 100 or any weight is negative.
+    pub fn new(failure: UserFailure, causes: Vec<CauseWeight>, none_percent: f64) -> Self {
+        let total: f64 = causes.iter().map(|c| c.percent).sum::<f64>() + none_percent;
+        assert!(
+            (total - 100.0).abs() < 0.5,
+            "{failure}: cause row sums to {total}"
+        );
+        assert!(
+            causes.iter().all(|c| c.percent >= 0.0) && none_percent >= 0.0,
+            "negative weight"
+        );
+        CauseProfile {
+            failure,
+            causes,
+            none_percent,
+        }
+    }
+
+    /// The failure this profile describes.
+    pub fn failure(&self) -> UserFailure {
+        self.failure
+    }
+
+    /// The weighted cause options.
+    pub fn causes(&self) -> &[CauseWeight] {
+        &self.causes
+    }
+
+    /// Percentage of occurrences with no system-level evidence.
+    pub fn none_percent(&self) -> f64 {
+        self.none_percent
+    }
+
+    /// Percentage attributed to `component` at `site`.
+    pub fn percent_for(&self, component: SystemComponent, site: CauseSite) -> f64 {
+        self.causes
+            .iter()
+            .filter(|c| c.component == component && c.site == site)
+            .map(|c| c.percent)
+            .sum()
+    }
+
+    /// Samples a cause (or `None` for "no system evidence").
+    pub fn sample(&self, rng: &mut SimRng) -> Option<(SystemComponent, CauseSite)> {
+        let mut weights: Vec<f64> = self.causes.iter().map(|c| c.percent).collect();
+        weights.push(self.none_percent);
+        let cat = Categorical::new(&weights).expect("valid row");
+        let idx = cat.sample(rng);
+        (idx < self.causes.len()).then(|| (self.causes[idx].component, self.causes[idx].site))
+    }
+}
+
+/// Overall failure mix: the Table 2 "TOT" column — the share each user
+/// failure holds among all user failures (percent, sums to 100).
+///
+/// Indexed by [`UserFailure::index`]. Reconstructed (see module docs):
+/// bind + 0.95·NAP-not-found + masked fractions of switch-role-command
+/// and PAN-connect ≈ 58 % (Table 4 masking row); SDP column total 21.1
+/// forces NAP-not-found ≈ 20.6; HOTPLUG/BNEP totals force the bind
+/// share ≈ 37.9; packet loss takes the remainder, landing within 0.5 of
+/// the extraction's legible `33.9`.
+pub const FAILURE_MIX: [f64; 10] = [
+    0.1,  // Inquiry/scan failed
+    0.5,  // SDP search failed
+    20.6, // NAP not found
+    5.7,  // Connect failed
+    0.1,  // PAN connect failed
+    37.9, // Bind failed
+    0.7,  // Sw role request failed
+    0.2,  // Sw role command failed
+    33.4, // Packet loss
+    0.8,  // Data mismatch
+];
+
+/// Builds the Table 2 cause profile for `failure`.
+pub fn cause_profile(failure: UserFailure) -> CauseProfile {
+    use CauseSite::{Local, Nap};
+    use SystemComponent::*;
+    let w = |component, site, percent| CauseWeight {
+        component,
+        site,
+        percent,
+    };
+    match failure {
+        UserFailure::InquiryScanFailed => CauseProfile::new(failure, vec![], 100.0),
+        UserFailure::SdpSearchFailed => CauseProfile::new(
+            failure,
+            vec![w(Sdp, Local, 50.9), w(Sdp, Nap, 20.0), w(Hci, Local, 20.1)],
+            9.0,
+        ),
+        UserFailure::NapNotFound => CauseProfile::new(
+            failure,
+            vec![w(Sdp, Local, 79.8), w(Sdp, Nap, 20.2)],
+            0.0,
+        ),
+        UserFailure::ConnectFailed => CauseProfile::new(
+            failure,
+            vec![
+                w(Hci, Local, 55.1),
+                w(Hci, Nap, 30.0),
+                w(L2cap, Local, 10.0),
+                w(L2cap, Nap, 4.9),
+            ],
+            0.0,
+        ),
+        UserFailure::PanConnectFailed => CauseProfile::new(
+            failure,
+            vec![w(Sdp, Local, 96.5), w(Hci, Local, 3.5)],
+            0.0,
+        ),
+        UserFailure::BindFailed => CauseProfile::new(
+            failure,
+            vec![
+                w(Hci, Local, 59.6),
+                w(Bnep, Local, 21.9),
+                w(Hotplug, Local, 18.5),
+            ],
+            0.0,
+        ),
+        UserFailure::SwitchRoleRequestFailed => {
+            CauseProfile::new(failure, vec![w(Hci, Local, 91.1)], 8.9)
+        }
+        UserFailure::SwitchRoleCommandFailed => CauseProfile::new(
+            failure,
+            vec![
+                w(Bcsp, Local, 49.7),
+                w(Bnep, Local, 18.8),
+                w(Hci, Local, 10.9),
+                w(Hci, Nap, 2.4),
+                w(L2cap, Local, 0.9),
+                w(L2cap, Nap, 4.4),
+            ],
+            12.9,
+        ),
+        UserFailure::PacketLoss => CauseProfile::new(
+            failure,
+            vec![
+                w(Hci, Local, 55.0),
+                w(Hci, Nap, 10.1),
+                w(L2cap, Local, 16.0),
+                w(L2cap, Nap, 13.0),
+                w(Usb, Local, 3.0),
+                w(Bcsp, Local, 2.9),
+            ],
+            0.0,
+        ),
+        UserFailure::DataMismatch => CauseProfile::new(failure, vec![], 100.0),
+    }
+}
+
+/// Table 3: per failure, the percentage of occurrences each SIRA
+/// recovers (columns in cascade order), or `None` when the paper defines
+/// no recovery (data mismatch — "not realistically recoverable").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiraProfiles;
+
+impl SiraProfiles {
+    /// Row for `failure`: seven percentages summing to 100, or `None`.
+    pub fn row(failure: UserFailure) -> Option<[f64; 7]> {
+        match failure {
+            UserFailure::InquiryScanFailed => Some([0.0, 40.1, 34.5, 22.0, 3.1, 0.3, 0.0]),
+            UserFailure::SdpSearchFailed => Some([0.0, 7.2, 39.8, 30.0, 1.8, 20.1, 1.1]),
+            UserFailure::NapNotFound => Some([0.0, 0.0, 61.4, 28.4, 0.5, 9.0, 0.7]),
+            UserFailure::ConnectFailed => Some([0.1, 0.5, 14.8, 55.8, 3.2, 25.2, 0.4]),
+            UserFailure::PanConnectFailed => Some([0.0, 46.4, 35.7, 12.5, 0.2, 5.2, 0.0]),
+            UserFailure::BindFailed => Some([0.0, 5.5, 62.4, 30.0, 0.1, 1.7, 0.3]),
+            UserFailure::SwitchRoleRequestFailed => Some([0.0, 17.5, 48.2, 28.4, 0.5, 5.4, 0.0]),
+            UserFailure::SwitchRoleCommandFailed => Some([0.0, 63.7, 20.4, 11.3, 1.2, 2.4, 1.0]),
+            UserFailure::PacketLoss => Some([5.9, 28.5, 19.8, 32.9, 3.9, 8.6, 0.4]),
+            UserFailure::DataMismatch => None,
+        }
+    }
+
+    /// Percentage of `failure` occurrences recovered by SIRAs 1–3
+    /// (the paper's coverage criterion: no app restart, no reboot).
+    pub fn coverage_1_to_3(failure: UserFailure) -> f64 {
+        Self::row(failure).map_or(0.0, |r| r[0] + r[1] + r[2])
+    }
+
+    /// Samples the severity (1–7) at which a `failure` occurrence is
+    /// recovered, or `None` for unrecoverable failures.
+    pub fn sample_severity(failure: UserFailure, rng: &mut SimRng) -> Option<u8> {
+        let row = Self::row(failure)?;
+        let cat = Categorical::new(&row).expect("valid SIRA row");
+        Some(cat.sample(rng) as u8 + 1)
+    }
+}
+
+/// Fraction (0–1) of each failure type the paper's masking strategies
+/// eliminate:
+///
+/// * **bind failed** — fully masked by waiting for the L2CAP handle
+///   (T_C) and the hotplug/BNEP interface configuration (T_H);
+/// * **NAP not found** / **switch-role command failed** — repeating the
+///   command up to 2 times with 1 s spacing lets the transient cause
+///   disappear (we model a 95 % mask rate);
+/// * **PAN connect failed** — 96.5 % manifest when the SDP search is
+///   skipped; always performing SDP first masks exactly those.
+pub fn masking_fraction(failure: UserFailure) -> f64 {
+    match failure {
+        UserFailure::BindFailed => 1.0,
+        UserFailure::NapNotFound | UserFailure::SwitchRoleCommandFailed => 0.95,
+        UserFailure::PanConnectFailed => 0.965,
+        _ => 0.0,
+    }
+}
+
+/// Expected percentage of all failures eliminated by masking under the
+/// ground-truth mix (Table 4 reports 58 %).
+pub fn expected_masking_percent() -> f64 {
+    UserFailure::ALL
+        .iter()
+        .map(|&f| FAILURE_MIX[f.index()] * masking_fraction(f))
+        .sum()
+}
+
+/// Expected SIRA-only coverage percentage (failures recovered by actions
+/// 1–3) under the ground-truth mix (Table 4 reports 58.4 %).
+pub fn expected_coverage_percent() -> f64 {
+    UserFailure::ALL
+        .iter()
+        .map(|&f| FAILURE_MIX[f.index()] * SiraProfiles::coverage_1_to_3(f) / 100.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_100() {
+        let total: f64 = FAILURE_MIX.iter().sum();
+        assert!((total - 100.0).abs() < 1e-9, "mix total {total}");
+    }
+
+    #[test]
+    fn all_cause_rows_valid() {
+        for f in UserFailure::ALL {
+            let p = cause_profile(f);
+            let total: f64 =
+                p.causes().iter().map(|c| c.percent).sum::<f64>() + p.none_percent();
+            assert!((total - 100.0).abs() < 0.5, "{f} row {total}");
+        }
+    }
+
+    #[test]
+    fn prose_constraints_hold() {
+        use CauseSite::*;
+        use SystemComponent::*;
+        // Connect failed: 85.1 % HCI (local + NAP).
+        let c = cause_profile(UserFailure::ConnectFailed);
+        let hci = c.percent_for(Hci, Local) + c.percent_for(Hci, Nap);
+        assert!((hci - 85.1).abs() < 1e-9);
+        // PAN connect failed: 96.5 % SDP.
+        let p = cause_profile(UserFailure::PanConnectFailed);
+        assert!((p.percent_for(Sdp, Local) - 96.5).abs() < 1e-9);
+        // Switch role request: 91.1 % HCI.
+        let s = cause_profile(UserFailure::SwitchRoleRequestFailed);
+        assert!((s.percent_for(Hci, Local) - 91.1).abs() < 1e-9);
+        // Switch role command: 49.7 % BCSP, 18.8 % BNEP, HCI 10.9/2.4,
+        // L2CAP 0.9/4.4 — all from the prose.
+        let sc = cause_profile(UserFailure::SwitchRoleCommandFailed);
+        assert!((sc.percent_for(Bcsp, Local) - 49.7).abs() < 1e-9);
+        assert!((sc.percent_for(Bnep, Local) - 18.8).abs() < 1e-9);
+        assert!((sc.percent_for(Hci, Local) - 10.9).abs() < 1e-9);
+        assert!((sc.percent_for(Hci, Nap) - 2.4).abs() < 1e-9);
+        assert!((sc.percent_for(L2cap, Local) - 0.9).abs() < 1e-9);
+        assert!((sc.percent_for(L2cap, Nap) - 4.4).abs() < 1e-9);
+        // Inquiry/scan and data mismatch: no relationships found.
+        assert_eq!(cause_profile(UserFailure::InquiryScanFailed).none_percent(), 100.0);
+        assert_eq!(cause_profile(UserFailure::DataMismatch).none_percent(), 100.0);
+    }
+
+    #[test]
+    fn column_totals_match_table2() {
+        use CauseSite::*;
+        use SystemComponent::*;
+        let total_for = |comp: SystemComponent| -> f64 {
+            UserFailure::ALL
+                .iter()
+                .map(|&f| {
+                    let p = cause_profile(f);
+                    FAILURE_MIX[f.index()]
+                        * (p.percent_for(comp, Local) + p.percent_for(comp, Nap))
+                        / 100.0
+                })
+                .sum()
+        };
+        assert!((total_for(Hci) - 49.9).abs() < 1.0, "HCI {}", total_for(Hci));
+        assert!((total_for(Sdp) - 21.1).abs() < 1.0, "SDP {}", total_for(Sdp));
+        assert!((total_for(L2cap) - 11.4).abs() < 1.5, "L2CAP {}", total_for(L2cap));
+        assert!((total_for(Bnep) - 8.5).abs() < 1.0, "BNEP {}", total_for(Bnep));
+        assert!((total_for(Hotplug) - 7.0).abs() < 0.5, "HOTPLUG {}", total_for(Hotplug));
+        assert!((total_for(Bcsp) - 1.1).abs() < 0.5, "BCSP {}", total_for(Bcsp));
+        assert!((total_for(Usb) - 1.0).abs() < 0.5, "USB {}", total_for(Usb));
+    }
+
+    #[test]
+    fn sira_rows_sum_to_100() {
+        for f in UserFailure::ALL {
+            if let Some(row) = SiraProfiles::row(f) {
+                let total: f64 = row.iter().sum();
+                assert!((total - 100.0).abs() < 0.5, "{f} SIRA row {total}");
+            } else {
+                assert_eq!(f, UserFailure::DataMismatch);
+            }
+        }
+    }
+
+    #[test]
+    fn sira_prose_constraints() {
+        // NAP not found: stack reset 61.4 %.
+        assert_eq!(SiraProfiles::row(UserFailure::NapNotFound).unwrap()[2], 61.4);
+        // Packet loss: IP socket reset 5.9 %.
+        assert_eq!(SiraProfiles::row(UserFailure::PacketLoss).unwrap()[0], 5.9);
+        // Connect failed: 84.6 % at severity >= app restart.
+        let c = SiraProfiles::row(UserFailure::ConnectFailed).unwrap();
+        let severe: f64 = c[3..].iter().sum();
+        assert!((severe - 84.6).abs() < 0.1, "connect severe {severe}");
+    }
+
+    #[test]
+    fn masking_matches_table4() {
+        let m = expected_masking_percent();
+        assert!((m - 58.0).abs() < 1.0, "masking {m}");
+    }
+
+    #[test]
+    fn coverage_matches_table4() {
+        let c = expected_coverage_percent();
+        assert!((c - 58.4).abs() < 1.0, "coverage {c}");
+    }
+
+    #[test]
+    fn sampling_respects_row() {
+        let mut rng = SimRng::seed_from(77);
+        let p = cause_profile(UserFailure::PanConnectFailed);
+        let n = 20_000;
+        let sdp_hits = (0..n)
+            .filter(|_| {
+                matches!(
+                    p.sample(&mut rng),
+                    Some((SystemComponent::Sdp, CauseSite::Local))
+                )
+            })
+            .count();
+        let freq = sdp_hits as f64 / n as f64;
+        assert!((freq - 0.965).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn severity_sampling_distribution() {
+        let mut rng = SimRng::seed_from(78);
+        let n = 50_000;
+        let mut counts = [0u32; 7];
+        for _ in 0..n {
+            let s = SiraProfiles::sample_severity(UserFailure::NapNotFound, &mut rng).unwrap();
+            counts[s as usize - 1] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 0);
+        let stack_reset = counts[2] as f64 / n as f64;
+        assert!((stack_reset - 0.614).abs() < 0.01, "stack {stack_reset}");
+        assert!(
+            SiraProfiles::sample_severity(UserFailure::DataMismatch, &mut rng).is_none()
+        );
+    }
+
+    #[test]
+    fn unrecoverable_failure_has_zero_coverage() {
+        assert_eq!(SiraProfiles::coverage_1_to_3(UserFailure::DataMismatch), 0.0);
+        assert!(
+            (SiraProfiles::coverage_1_to_3(UserFailure::BindFailed) - 67.9).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-host failure modifiers (Figure 4).
+//!
+//! The paper's per-host failure distribution is far from uniform:
+//!
+//! * **bind failures appeared only on `Azzurro` and `Win`** — `Azzurro`
+//!   runs Fedora Core with the then-new Hardware Abstraction Layer
+//!   daemon responsible for hotplug (the problem survived a hardware
+//!   upgrade, pinning it on the HAL version); `Win` uses the Broadcom
+//!   stack with its own interface-configuration timing;
+//! * **switch-role command failures are frequent on the PDAs**
+//!   (iPAQ H3870, Zaurus SL-5600) "due to the complexity introduced by
+//!   the BCSP" serial transport.
+
+use serde::{Deserialize, Serialize};
+
+/// Host-level quirk flags that modulate fault activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HostQuirks {
+    /// The host's hotplug/HAL path is racy: bind failures can occur
+    /// (Fedora's HAL on `Azzurro`, Broadcom on `Win`).
+    pub bind_prone: bool,
+    /// The host's controller speaks BCSP over UART (the PDAs); the
+    /// switch-role command path is fragile.
+    pub uses_bcsp: bool,
+    /// The host is a resource-constrained PDA (slower recovery times).
+    pub is_pda: bool,
+}
+
+impl HostQuirks {
+    /// A commodity Linux PC on USB transport with a healthy hotplug.
+    pub fn linux_pc() -> Self {
+        HostQuirks::default()
+    }
+
+    /// The Fedora machine with the buggy HAL (`Azzurro`).
+    pub fn fedora_hal_bug() -> Self {
+        HostQuirks {
+            bind_prone: true,
+            uses_bcsp: false,
+            is_pda: false,
+        }
+    }
+
+    /// The Windows XP / Broadcom machine (`Win`).
+    pub fn windows_broadcom() -> Self {
+        HostQuirks {
+            bind_prone: true,
+            uses_bcsp: false,
+            is_pda: false,
+        }
+    }
+
+    /// A Linux PDA on BCSP transport (iPAQ, Zaurus).
+    pub fn pda() -> Self {
+        HostQuirks {
+            bind_prone: false,
+            uses_bcsp: true,
+            is_pda: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert!(HostQuirks::fedora_hal_bug().bind_prone);
+        assert!(HostQuirks::windows_broadcom().bind_prone);
+        assert!(!HostQuirks::linux_pc().bind_prone);
+        assert!(HostQuirks::pda().uses_bcsp);
+        assert!(HostQuirks::pda().is_pda);
+        assert!(!HostQuirks::fedora_hal_bug().uses_bcsp);
+    }
+
+    #[test]
+    fn default_is_clean() {
+        let q = HostQuirks::default();
+        assert!(!q.bind_prone && !q.uses_bcsp && !q.is_pda);
+    }
+}

@@ -1,0 +1,76 @@
+//! Channel-stress amplification for sustained transfers (Figure 3c).
+//!
+//! The paper pinpoints P2P and streaming as the most packet-loss-prone
+//! applications: "they are characterized by long sessions with
+//! continuous data transfer, which overload the channel and stress its
+//! time-based synchronization mechanism", while Web/Mail/FTP's
+//! intermittent transfers go easier on the ACL channel. Two effects
+//! compose:
+//!
+//! 1. **exposure** — more bytes per cycle means more baseband payloads,
+//!    each a drop opportunity (emerges from `btpan-baseband` for free);
+//! 2. **stress** — sustained slot occupation degrades the time-division
+//!    synchronization; we model a hazard multiplier that grows with the
+//!    channel duty factor of the running application, saturating at
+//!    `1 + alpha`.
+
+/// Multiplicative packet-loss hazard model driven by channel duty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressModel {
+    /// Maximum extra hazard at full duty (multiplier = `1 + alpha`).
+    pub alpha: f64,
+}
+
+impl Default for StressModel {
+    fn default() -> Self {
+        StressModel::typical()
+    }
+}
+
+impl StressModel {
+    /// Paper-shape calibration: full-duty transfers suffer ~2.2× the
+    /// per-payload loss hazard of fully intermittent ones.
+    pub fn typical() -> Self {
+        StressModel { alpha: 1.2 }
+    }
+
+    /// Hazard multiplier for an application with channel duty factor
+    /// `duty` in `[0, 1]` (fraction of the session the ACL channel is
+    /// continuously occupied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn multiplier(&self, duty: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&duty), "duty factor outside [0,1]");
+        1.0 + self.alpha * duty * duty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_monotone_in_duty() {
+        let m = StressModel::typical();
+        assert_eq!(m.multiplier(0.0), 1.0);
+        assert!(m.multiplier(0.3) < m.multiplier(0.7));
+        assert!((m.multiplier(1.0) - (1.0 + m.alpha)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convexity_punishes_sustained_duty() {
+        // duty^2: two half-duty sessions stress less than one full-duty.
+        let m = StressModel::typical();
+        let two_half = 2.0 * (m.multiplier(0.5) - 1.0);
+        let one_full = m.multiplier(1.0) - 1.0;
+        assert!(one_full > two_half);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_duty() {
+        let _ = StressModel::typical().multiplier(1.5);
+    }
+}

@@ -1,0 +1,466 @@
+//! The Bluetooth PAN failure model (paper Table 1).
+//!
+//! Two levels of failure data are produced by the testbeds:
+//!
+//! * **user-level failures** — what the PANU user perceives, grouped by
+//!   the utilization phase in which they manifest (searching for devices
+//!   and services / connecting / transferring data);
+//! * **system-level failures** — what system software records in the OS
+//!   log (BT stack modules, OS drivers). System-level failures act as
+//!   *errors* for user-level failures: when a user failure manifests,
+//!   one or more system failures appear in the same window of time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The utilization phase a user-level failure belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureGroup {
+    /// Searching for devices and services (inquiry/scan, SDP).
+    Search,
+    /// Establishing the PAN connection (L2CAP, BNEP, bind, role switch).
+    Connect,
+    /// Moving data over the established channel.
+    DataTransfer,
+}
+
+/// User-level failure types, exactly the ten of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UserFailure {
+    /// The inquiry procedure terminates abnormally.
+    InquiryScanFailed,
+    /// The SDP Search procedure terminates abnormally.
+    SdpSearchFailed,
+    /// The SDP procedure does not find the NAP, even if it is present.
+    NapNotFound,
+    /// The device fails to establish the L2CAP connection with the NAP.
+    ConnectFailed,
+    /// The PANU fails to establish the PAN connection with the NAP.
+    PanConnectFailed,
+    /// The IP socket cannot bind the Bluetooth BNEP interface.
+    BindFailed,
+    /// The switch-role request does not reach the master.
+    SwitchRoleRequestFailed,
+    /// The request succeeds, but the command completes abnormally.
+    SwitchRoleCommandFailed,
+    /// An expected packet is lost (30 s receive timeout expires).
+    PacketLoss,
+    /// The packet is received correctly, but the content is corrupted.
+    DataMismatch,
+}
+
+impl UserFailure {
+    /// All ten failure types in Table 1 order.
+    pub const ALL: [UserFailure; 10] = [
+        UserFailure::InquiryScanFailed,
+        UserFailure::SdpSearchFailed,
+        UserFailure::NapNotFound,
+        UserFailure::ConnectFailed,
+        UserFailure::PanConnectFailed,
+        UserFailure::BindFailed,
+        UserFailure::SwitchRoleRequestFailed,
+        UserFailure::SwitchRoleCommandFailed,
+        UserFailure::PacketLoss,
+        UserFailure::DataMismatch,
+    ];
+
+    /// The utilization phase the failure belongs to.
+    pub const fn group(self) -> FailureGroup {
+        match self {
+            UserFailure::InquiryScanFailed
+            | UserFailure::SdpSearchFailed
+            | UserFailure::NapNotFound => FailureGroup::Search,
+            UserFailure::ConnectFailed
+            | UserFailure::PanConnectFailed
+            | UserFailure::BindFailed
+            | UserFailure::SwitchRoleRequestFailed
+            | UserFailure::SwitchRoleCommandFailed => FailureGroup::Connect,
+            UserFailure::PacketLoss | UserFailure::DataMismatch => FailureGroup::DataTransfer,
+        }
+    }
+
+    /// Stable index (Table 1 order) for array-backed lookup tables.
+    pub const fn index(self) -> usize {
+        match self {
+            UserFailure::InquiryScanFailed => 0,
+            UserFailure::SdpSearchFailed => 1,
+            UserFailure::NapNotFound => 2,
+            UserFailure::ConnectFailed => 3,
+            UserFailure::PanConnectFailed => 4,
+            UserFailure::BindFailed => 5,
+            UserFailure::SwitchRoleRequestFailed => 6,
+            UserFailure::SwitchRoleCommandFailed => 7,
+            UserFailure::PacketLoss => 8,
+            UserFailure::DataMismatch => 9,
+        }
+    }
+
+    /// The short label used in tables and logs.
+    pub const fn label(self) -> &'static str {
+        match self {
+            UserFailure::InquiryScanFailed => "Inquiry/scan failed",
+            UserFailure::SdpSearchFailed => "SDP search failed",
+            UserFailure::NapNotFound => "NAP not found",
+            UserFailure::ConnectFailed => "Connect failed",
+            UserFailure::PanConnectFailed => "PAN connect failed",
+            UserFailure::BindFailed => "Bind failed",
+            UserFailure::SwitchRoleRequestFailed => "Sw role request failed",
+            UserFailure::SwitchRoleCommandFailed => "Sw role command failed",
+            UserFailure::PacketLoss => "Packet loss",
+            UserFailure::DataMismatch => "Data mismatch",
+        }
+    }
+}
+
+impl fmt::Display for UserFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The software component that signalled a system-level failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SystemComponent {
+    /// Host Controller Interface command layer.
+    Hci,
+    /// Logical Link Control and Adaptation Protocol.
+    L2cap,
+    /// Service Discovery Protocol daemon.
+    Sdp,
+    /// BT Network Encapsulation Protocol / interface module.
+    Bnep,
+    /// BlueCore Serial Protocol transport (PDAs).
+    Bcsp,
+    /// USB transport to the BT controller.
+    Usb,
+    /// OS hotplug / Hardware Abstraction Layer daemon.
+    Hotplug,
+}
+
+impl SystemComponent {
+    /// All seven components in Table 1 order (BT stack then OS/drivers).
+    pub const ALL: [SystemComponent; 7] = [
+        SystemComponent::Hci,
+        SystemComponent::L2cap,
+        SystemComponent::Sdp,
+        SystemComponent::Bnep,
+        SystemComponent::Bcsp,
+        SystemComponent::Usb,
+        SystemComponent::Hotplug,
+    ];
+
+    /// Stable index for lookup tables.
+    pub const fn index(self) -> usize {
+        match self {
+            SystemComponent::Hci => 0,
+            SystemComponent::L2cap => 1,
+            SystemComponent::Sdp => 2,
+            SystemComponent::Bnep => 3,
+            SystemComponent::Bcsp => 4,
+            SystemComponent::Usb => 5,
+            SystemComponent::Hotplug => 6,
+        }
+    }
+
+    /// True for components inside the Bluetooth protocol stack (as
+    /// opposed to OS/driver components).
+    pub const fn is_bt_stack(self) -> bool {
+        matches!(
+            self,
+            SystemComponent::Hci | SystemComponent::L2cap | SystemComponent::Sdp | SystemComponent::Bnep
+        )
+    }
+
+    /// Table label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SystemComponent::Hci => "HCI",
+            SystemComponent::L2cap => "L2CAP",
+            SystemComponent::Sdp => "SDP",
+            SystemComponent::Bnep => "BNEP",
+            SystemComponent::Bcsp => "BCSP",
+            SystemComponent::Usb => "USB",
+            SystemComponent::Hotplug => "HOTPLUG",
+        }
+    }
+}
+
+impl fmt::Display for SystemComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// System-level failure types (errors), per paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SystemFault {
+    /// HCI command timeout transmitting to the BT firmware.
+    HciCommandTimeout,
+    /// HCI command issued for an unknown connection handle.
+    HciInvalidHandle,
+    /// Unexpected L2CAP start or continuation frame received.
+    L2capUnexpectedFrame,
+    /// Connection with the SDP server refused or timed out.
+    SdpConnectionRefused,
+    /// AP unavailable or not implementing the required service.
+    SdpServiceUnavailable,
+    /// "Failed to add a connection, can't locate module bnep0".
+    BnepModuleMissing,
+    /// "bnep occupied" — the BNEP device is busy.
+    BnepOccupied,
+    /// Out-of-order BCSP packets.
+    BcspOutOfOrder,
+    /// Missing BCSP packets.
+    BcspMissing,
+    /// The USB device does not accept new addresses.
+    UsbAddressRejected,
+    /// The HAL daemon times out waiting for a hotplug event.
+    HotplugTimeout,
+}
+
+impl SystemFault {
+    /// All eleven system fault types.
+    pub const ALL: [SystemFault; 11] = [
+        SystemFault::HciCommandTimeout,
+        SystemFault::HciInvalidHandle,
+        SystemFault::L2capUnexpectedFrame,
+        SystemFault::SdpConnectionRefused,
+        SystemFault::SdpServiceUnavailable,
+        SystemFault::BnepModuleMissing,
+        SystemFault::BnepOccupied,
+        SystemFault::BcspOutOfOrder,
+        SystemFault::BcspMissing,
+        SystemFault::UsbAddressRejected,
+        SystemFault::HotplugTimeout,
+    ];
+
+    /// The component that signals this fault.
+    pub const fn component(self) -> SystemComponent {
+        match self {
+            SystemFault::HciCommandTimeout | SystemFault::HciInvalidHandle => SystemComponent::Hci,
+            SystemFault::L2capUnexpectedFrame => SystemComponent::L2cap,
+            SystemFault::SdpConnectionRefused | SystemFault::SdpServiceUnavailable => {
+                SystemComponent::Sdp
+            }
+            SystemFault::BnepModuleMissing | SystemFault::BnepOccupied => SystemComponent::Bnep,
+            SystemFault::BcspOutOfOrder | SystemFault::BcspMissing => SystemComponent::Bcsp,
+            SystemFault::UsbAddressRejected => SystemComponent::Usb,
+            SystemFault::HotplugTimeout => SystemComponent::Hotplug,
+        }
+    }
+
+    /// The log message the component writes for this fault.
+    pub const fn log_message(self) -> &'static str {
+        match self {
+            SystemFault::HciCommandTimeout => "HCI command timeout",
+            SystemFault::HciInvalidHandle => "HCI command for invalid handle",
+            SystemFault::L2capUnexpectedFrame => "L2CAP unexpected start/continuation frame",
+            SystemFault::SdpConnectionRefused => "SDP connection refused or timed out",
+            SystemFault::SdpServiceUnavailable => "SDP required service unavailable",
+            SystemFault::BnepModuleMissing => "bnep: can't locate module bnep0",
+            SystemFault::BnepOccupied => "bnep: device occupied",
+            SystemFault::BcspOutOfOrder => "BCSP out of order packet",
+            SystemFault::BcspMissing => "BCSP missing packet",
+            SystemFault::UsbAddressRejected => "usb: device not accepting address",
+            SystemFault::HotplugTimeout => "HAL timed out waiting for hotplug event",
+        }
+    }
+}
+
+impl fmt::Display for SystemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.log_message())
+    }
+}
+
+/// Where a system-level cause was recorded: on the failing PANU itself or
+/// propagated from the NAP (the paper relates each Test log with both the
+/// local System log and the NAP's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CauseSite {
+    /// The PANU's own system log.
+    Local,
+    /// The NAP's system log (error propagation NAP → PANU).
+    Nap,
+}
+
+impl fmt::Display for CauseSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CauseSite::Local => f.write_str("local"),
+            CauseSite::Nap => f.write_str("NAP"),
+        }
+    }
+}
+
+/// The seven Software-Implemented Recovery Actions, ordered by
+/// increasing cost. "If action j was successful, the failure has
+/// severity j."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sira {
+    /// 1 — destroy and rebuild the IP socket.
+    IpSocketReset,
+    /// 2 — close and re-establish the L2CAP and PAN connections.
+    BtConnectionReset,
+    /// 3 — clean up BT stack variables and data, restoring initial state.
+    BtStackReset,
+    /// 4 — automatically close and restart the BlueTest application.
+    AppRestart,
+    /// 5 — up to 3 consecutive application restarts.
+    MultiAppRestart,
+    /// 6 — reboot the entire system.
+    SystemReboot,
+    /// 7 — up to 5 consecutive system reboots.
+    MultiSystemReboot,
+}
+
+impl Sira {
+    /// All seven actions in cascade (cost) order.
+    pub const ALL: [Sira; 7] = [
+        Sira::IpSocketReset,
+        Sira::BtConnectionReset,
+        Sira::BtStackReset,
+        Sira::AppRestart,
+        Sira::MultiAppRestart,
+        Sira::SystemReboot,
+        Sira::MultiSystemReboot,
+    ];
+
+    /// 1-based severity level of a failure recovered by this action.
+    pub const fn severity(self) -> u8 {
+        match self {
+            Sira::IpSocketReset => 1,
+            Sira::BtConnectionReset => 2,
+            Sira::BtStackReset => 3,
+            Sira::AppRestart => 4,
+            Sira::MultiAppRestart => 5,
+            Sira::SystemReboot => 6,
+            Sira::MultiSystemReboot => 7,
+        }
+    }
+
+    /// Stable 0-based index.
+    pub const fn index(self) -> usize {
+        self.severity() as usize - 1
+    }
+
+    /// True for the actions a typical user cannot perform (the paper's
+    /// failure-mode *coverage* counts failures recovered "without
+    /// rebooting the system or restarting the application", i.e. by
+    /// actions 1–3).
+    pub const fn counts_for_coverage(self) -> bool {
+        (self.severity()) <= 3
+    }
+
+    /// Table label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Sira::IpSocketReset => "IP socket reset",
+            Sira::BtConnectionReset => "BT connection reset",
+            Sira::BtStackReset => "BT stack reset",
+            Sira::AppRestart => "Application restart",
+            Sira::MultiAppRestart => "Multiple app restart",
+            Sira::SystemReboot => "System reboot",
+            Sira::MultiSystemReboot => "Multiple sys reboot",
+        }
+    }
+}
+
+impl fmt::Display for Sira {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_user_failures_with_stable_indices() {
+        assert_eq!(UserFailure::ALL.len(), 10);
+        for (i, f) in UserFailure::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn groups_match_table1() {
+        use UserFailure::*;
+        assert_eq!(InquiryScanFailed.group(), FailureGroup::Search);
+        assert_eq!(SdpSearchFailed.group(), FailureGroup::Search);
+        assert_eq!(NapNotFound.group(), FailureGroup::Search);
+        assert_eq!(ConnectFailed.group(), FailureGroup::Connect);
+        assert_eq!(PanConnectFailed.group(), FailureGroup::Connect);
+        assert_eq!(BindFailed.group(), FailureGroup::Connect);
+        assert_eq!(SwitchRoleRequestFailed.group(), FailureGroup::Connect);
+        assert_eq!(SwitchRoleCommandFailed.group(), FailureGroup::Connect);
+        assert_eq!(PacketLoss.group(), FailureGroup::DataTransfer);
+        assert_eq!(DataMismatch.group(), FailureGroup::DataTransfer);
+    }
+
+    #[test]
+    fn system_faults_map_to_components() {
+        assert_eq!(SystemFault::ALL.len(), 11);
+        assert_eq!(
+            SystemFault::HciCommandTimeout.component(),
+            SystemComponent::Hci
+        );
+        assert_eq!(
+            SystemFault::HotplugTimeout.component(),
+            SystemComponent::Hotplug
+        );
+        // every component is signalled by at least one fault
+        for c in SystemComponent::ALL {
+            assert!(
+                SystemFault::ALL.iter().any(|f| f.component() == c),
+                "{c} has no fault"
+            );
+        }
+    }
+
+    #[test]
+    fn bt_stack_vs_os_split() {
+        assert!(SystemComponent::Hci.is_bt_stack());
+        assert!(SystemComponent::Bnep.is_bt_stack());
+        assert!(!SystemComponent::Usb.is_bt_stack());
+        assert!(!SystemComponent::Hotplug.is_bt_stack());
+        assert!(!SystemComponent::Bcsp.is_bt_stack());
+    }
+
+    #[test]
+    fn sira_severities_ordered() {
+        for w in Sira::ALL.windows(2) {
+            assert!(w[0].severity() < w[1].severity());
+        }
+        assert!(Sira::IpSocketReset.counts_for_coverage());
+        assert!(Sira::BtStackReset.counts_for_coverage());
+        assert!(!Sira::AppRestart.counts_for_coverage());
+        assert!(!Sira::MultiSystemReboot.counts_for_coverage());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = UserFailure::ALL.iter().map(|f| f.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(UserFailure::PacketLoss.to_string(), "Packet loss");
+        assert_eq!(SystemComponent::Hci.to_string(), "HCI");
+        assert_eq!(CauseSite::Nap.to_string(), "NAP");
+        assert_eq!(Sira::BtStackReset.to_string(), "BT stack reset");
+        assert!(SystemFault::BnepOccupied.to_string().contains("occupied"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = UserFailure::SwitchRoleCommandFailed;
+        let json = serde_json::to_string(&f).unwrap();
+        let back: UserFailure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

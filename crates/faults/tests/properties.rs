@@ -1,0 +1,70 @@
+//! Property-based tests over the fault profiles and injection.
+
+use btpan_faults::injector::{FaultInjector, InjectionConfig, Phase};
+use btpan_faults::profiles::{cause_profile, SiraProfiles};
+use btpan_faults::{HostQuirks, UserFailure};
+use btpan_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn severity_always_in_range(seed in 0u64..5_000, f_idx in 0usize..10) {
+        let f = UserFailure::ALL[f_idx];
+        let mut rng = SimRng::seed_from(seed);
+        match SiraProfiles::sample_severity(f, &mut rng) {
+            Some(s) => prop_assert!((1..=7).contains(&s)),
+            None => prop_assert_eq!(f, UserFailure::DataMismatch),
+        }
+    }
+
+    #[test]
+    fn sampled_causes_come_from_the_profile(seed in 0u64..2_000, f_idx in 0usize..10) {
+        let f = UserFailure::ALL[f_idx];
+        let profile = cause_profile(f);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            if let Some((component, site)) = profile.sample(&mut rng) {
+                prop_assert!(
+                    profile.percent_for(component, site) > 0.0,
+                    "{f}: sampled ({component}, {site}) has zero weight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_injection_never_exceeds_probability_one(scale in 0.0f64..1_000.0, seed in 0u64..500) {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated().scaled(scale));
+        let mut rng = SimRng::seed_from(seed);
+        // At absurd scales everything fails, but nothing panics and the
+        // phases still return coherent failures.
+        for _ in 0..20 {
+            if let Some(out) = inj.check_phase(Phase::SdpSearch, HostQuirks::pda(), &mut rng) {
+                prop_assert!(matches!(
+                    out.failure,
+                    UserFailure::SdpSearchFailed | UserFailure::NapNotFound
+                ));
+            }
+        }
+        prop_assert!(inj.link_break_probability(1_000_000) <= 1.0);
+        prop_assert!(inj.mismatch_probability() <= 1.0);
+    }
+
+    #[test]
+    fn phase_failures_match_phase(seed in 0u64..2_000) {
+        let inj = FaultInjector::new(InjectionConfig::paper_calibrated().scaled(100.0));
+        let mut rng = SimRng::seed_from(seed);
+        let cases = [
+            (Phase::Inquiry, vec![UserFailure::InquiryScanFailed]),
+            (Phase::L2capConnect, vec![UserFailure::ConnectFailed]),
+            (Phase::Bind, vec![UserFailure::BindFailed]),
+            (Phase::SwitchRoleRequest, vec![UserFailure::SwitchRoleRequestFailed]),
+            (Phase::SwitchRoleCommand, vec![UserFailure::SwitchRoleCommandFailed]),
+        ];
+        for (phase, expected) in cases {
+            if let Some(out) = inj.check_phase(phase, HostQuirks::fedora_hal_bug(), &mut rng) {
+                prop_assert!(expected.contains(&out.failure), "{phase:?} -> {}", out.failure);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # btpan-recovery
+//!
+//! The Software-Implemented Recovery Actions (SIRAs) and error-masking
+//! strategies of the paper, plus the four recovery policies Table 4
+//! compares.
+//!
+//! "As soon as a failure is detected, several SIRAs are attempted in
+//! cascade: when the i-th action does not succeed, the (i+1)-th action
+//! is performed. The given recovery actions are ordered according to
+//! their increasing costs. If action j was successful, the failure has
+//! severity j."
+//!
+//! * [`sira`] — the per-action cost model (log-normal durations);
+//! * [`executor`] — the cascade executor producing recovery outcomes
+//!   with severity and accumulated recovery time;
+//! * [`masking`] — the three masking strategies: the bind `T_C`/`T_H`
+//!   wait (mechanically implemented in `btpan-stack`), the ≤2-retry
+//!   command repeat for NAP-not-found / switch-role-command, and the
+//!   SDP-before-PAN-connect practice;
+//! * [`policy`] — `RebootOnly`, `AppRestartThenReboot`, `Siras`,
+//!   `SirasAndMasking` — the four Table 4 columns.
+
+pub mod executor;
+pub mod masking;
+pub mod policy;
+pub mod sira;
+
+pub use executor::{execute_cascade, RecoveryOutcome};
+pub use masking::{MaskOutcome, Masking};
+pub use policy::RecoveryPolicy;
+pub use sira::SiraCosts;

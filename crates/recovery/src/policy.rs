@@ -1,0 +1,235 @@
+//! The four recovery policies of Table 4.
+//!
+//! Two "typical user" scenarios bound the unaided experience — reboot on
+//! every failure, or try an application restart first and reboot if the
+//! application fails again — against the instrumented testbed with
+//! automated SIRAs, with and without error masking. User thinking time
+//! is excluded ("we assume the user thinking time is zero, to obtain
+//! upper-bound measures").
+
+use crate::executor::{execute_cascade, RecoveryOutcome};
+use crate::masking::Masking;
+use crate::sira::SiraCosts;
+use btpan_faults::{Sira, SiraProfiles, UserFailure};
+use btpan_sim::prelude::*;
+use std::fmt;
+
+/// The four policies compared in Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Scenario i: the user reboots the terminal on every failure.
+    RebootOnly,
+    /// Scenario ii: restart the application; if it fails again, reboot.
+    AppRestartThenReboot,
+    /// The instrumented testbed: the full SIRA cascade.
+    Siras,
+    /// SIRAs plus the error-masking strategies.
+    SirasAndMasking,
+}
+
+impl RecoveryPolicy {
+    /// Probability that an application restart which *could* have fixed
+    /// the failure lands in the same environmental conditions and fails
+    /// again immediately (scenario ii.2 of the paper), forcing the
+    /// reboot. Calibrated against Table 4's 85.12 s scenario-2 MTTR.
+    pub const P_RECUR_AFTER_RESTART: f64 = 0.08;
+
+    /// All four policies in Table 4 column order.
+    pub const ALL: [RecoveryPolicy; 4] = [
+        RecoveryPolicy::RebootOnly,
+        RecoveryPolicy::AppRestartThenReboot,
+        RecoveryPolicy::Siras,
+        RecoveryPolicy::SirasAndMasking,
+    ];
+
+    /// Whether this policy runs with masking strategies active.
+    pub fn masking(&self) -> Masking {
+        match self {
+            RecoveryPolicy::SirasAndMasking => Masking::all(),
+            _ => Masking::none(),
+        }
+    }
+
+    /// Table label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RecoveryPolicy::RebootOnly => "Only Reboot",
+            RecoveryPolicy::AppRestartThenReboot => "App restart and Reboot",
+            RecoveryPolicy::Siras => "With only SIRAs",
+            RecoveryPolicy::SirasAndMasking => "SIRAs and masking",
+        }
+    }
+
+    /// Recovers one `failure` under this policy, returning the outcome
+    /// (actions attempted, severity, recovery time).
+    pub fn recover(
+        &self,
+        failure: UserFailure,
+        costs: &SiraCosts,
+        is_pda: bool,
+        rng: &mut SimRng,
+    ) -> RecoveryOutcome {
+        match self {
+            RecoveryPolicy::Siras | RecoveryPolicy::SirasAndMasking => {
+                execute_cascade(failure, costs, is_pda, rng)
+            }
+            RecoveryPolicy::RebootOnly => {
+                let mut duration = costs.detection_delay(failure, rng);
+                duration += costs.sample(Sira::SystemReboot, is_pda, rng);
+                RecoveryOutcome {
+                    failure,
+                    succeeded_by: Some(Sira::SystemReboot),
+                    severity: Some(Sira::SystemReboot.severity()),
+                    attempted: vec![Sira::SystemReboot],
+                    duration,
+                }
+            }
+            RecoveryPolicy::AppRestartThenReboot => {
+                let mut duration = costs.detection_delay(failure, rng);
+                duration += costs.sample(Sira::AppRestart, is_pda, rng);
+                // Does the restart fix it? The failure's intrinsic
+                // severity decides: severities <= 4 are cleared by an
+                // application restart (any cheaper action's effect is
+                // subsumed); deeper ones resurface and force the reboot.
+                // Even a nominally-sufficient restart can land in the
+                // same environmental conditions and "fail again"
+                // (scenario ii.2), sending the user to the reboot.
+                let intrinsic = SiraProfiles::sample_severity(failure, rng);
+                let recurs = rng.chance(Self::P_RECUR_AFTER_RESTART);
+                match intrinsic {
+                    Some(s) if s <= Sira::AppRestart.severity() && !recurs => RecoveryOutcome {
+                        failure,
+                        succeeded_by: Some(Sira::AppRestart),
+                        severity: Some(Sira::AppRestart.severity()),
+                        attempted: vec![Sira::AppRestart],
+                        duration,
+                    },
+                    _ => {
+                        duration += costs.sample(Sira::SystemReboot, is_pda, rng);
+                        RecoveryOutcome {
+                            failure,
+                            succeeded_by: Some(Sira::SystemReboot),
+                            severity: Some(Sira::SystemReboot.severity()),
+                            attempted: vec![Sira::AppRestart, Sira::SystemReboot],
+                            duration,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(0x90C1)
+    }
+
+    fn mean_ttr(policy: RecoveryPolicy, failure: UserFailure, n: u32) -> f64 {
+        let costs = SiraCosts::default();
+        let mut r = rng();
+        (0..n)
+            .map(|_| {
+                policy
+                    .recover(failure, &costs, false, &mut r)
+                    .duration
+                    .as_secs_f64()
+            })
+            .sum::<f64>()
+            / f64::from(n)
+    }
+
+    #[test]
+    fn reboot_only_always_reboots() {
+        let costs = SiraCosts::default();
+        let mut r = rng();
+        let out = RecoveryPolicy::RebootOnly.recover(UserFailure::BindFailed, &costs, false, &mut r);
+        assert_eq!(out.attempted, vec![Sira::SystemReboot]);
+        assert!(out.rebooted());
+        // MTTR of the reboot scenario ≈ 260 s + detection (paper 285.92).
+        let m = mean_ttr(RecoveryPolicy::RebootOnly, UserFailure::ConnectFailed, 3_000);
+        assert!((m - 262.0).abs() < 20.0, "reboot-only mttr {m}");
+    }
+
+    #[test]
+    fn app_restart_policy_escalates_for_severe_failures() {
+        // Connect-failed is severe (84.6 % >= app restart); many runs
+        // escalate. Bind is shallow; most do not.
+        let costs = SiraCosts::default();
+        let mut r = rng();
+        let escalations = |f: UserFailure, r: &mut SimRng| {
+            (0..4_000)
+                .filter(|_| {
+                    RecoveryPolicy::AppRestartThenReboot
+                        .recover(f, &costs, false, r)
+                        .rebooted()
+                })
+                .count()
+        };
+        let connect = escalations(UserFailure::ConnectFailed, &mut r);
+        let bind = escalations(UserFailure::BindFailed, &mut r);
+        // The 8 % recurrence floor lifts both; the severity gap still
+        // dominates.
+        assert!(connect > bind * 3, "connect {connect} bind {bind}");
+    }
+
+    #[test]
+    fn policy_mttr_ordering_matches_table4() {
+        // Weighted by the ground-truth failure mix the ordering is
+        // reboot-only >> app-restart > SIRAs (Table 4: 285.9 / 85.1 /
+        // 70.9 s).
+        let weighted = |policy: RecoveryPolicy| -> f64 {
+            UserFailure::ALL
+                .iter()
+                .map(|&f| {
+                    btpan_faults::FAILURE_MIX[f.index()] / 100.0 * mean_ttr(policy, f, 1_500)
+                })
+                .sum()
+        };
+        let reboot = weighted(RecoveryPolicy::RebootOnly);
+        let app = weighted(RecoveryPolicy::AppRestartThenReboot);
+        let siras = weighted(RecoveryPolicy::Siras);
+        assert!(reboot > 2.0 * app, "reboot {reboot} app {app}");
+        assert!(app > siras, "app {app} siras {siras}");
+        // Absolute bands: within ~35 % of the paper's figures.
+        assert!((reboot - 285.9).abs() < 100.0, "reboot mttr {reboot}");
+        assert!((siras - 70.9).abs() < 35.0, "siras mttr {siras}");
+    }
+
+    #[test]
+    fn masking_flag_per_policy() {
+        assert!(RecoveryPolicy::SirasAndMasking.masking().bind_wait);
+        assert!(!RecoveryPolicy::Siras.masking().bind_wait);
+        assert!(!RecoveryPolicy::RebootOnly.masking().command_retry);
+    }
+
+    #[test]
+    fn labels_match_table4_columns() {
+        assert_eq!(RecoveryPolicy::RebootOnly.to_string(), "Only Reboot");
+        assert_eq!(
+            RecoveryPolicy::SirasAndMasking.to_string(),
+            "SIRAs and masking"
+        );
+        assert_eq!(RecoveryPolicy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn data_mismatch_under_user_policies_still_reboots() {
+        // A user who reboots on every failure reboots on data mismatch
+        // too (they cannot know it is unrecoverable).
+        let costs = SiraCosts::default();
+        let mut r = rng();
+        let out =
+            RecoveryPolicy::RebootOnly.recover(UserFailure::DataMismatch, &costs, false, &mut r);
+        assert!(out.rebooted());
+    }
+}

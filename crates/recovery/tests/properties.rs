@@ -1,0 +1,80 @@
+//! Property-based tests over the recovery machinery.
+
+use btpan_faults::UserFailure;
+use btpan_recovery::executor::execute_cascade;
+use btpan_recovery::masking::{MaskOutcome, Masking};
+use btpan_recovery::policy::RecoveryPolicy;
+use btpan_recovery::sira::SiraCosts;
+use btpan_sim::prelude::*;
+use btpan_sim::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cascade_always_terminates_with_consistent_outcome(seed in 0u64..5_000, f_idx in 0usize..10, pda in any::<bool>()) {
+        let f = UserFailure::ALL[f_idx];
+        let costs = SiraCosts::default();
+        let mut rng = SimRng::seed_from(seed);
+        let out = execute_cascade(f, &costs, pda, &mut rng);
+        prop_assert!(out.attempted.len() <= 7);
+        match out.severity {
+            Some(s) => {
+                prop_assert_eq!(out.attempted.len(), s as usize);
+                prop_assert_eq!(out.succeeded_by.map(|a| a.severity()), Some(s));
+            }
+            None => {
+                prop_assert!(out.attempted.is_empty());
+                prop_assert_eq!(f, UserFailure::DataMismatch);
+            }
+        }
+        // TTR is positive and within the paper's envelope plus detection.
+        prop_assert!(out.duration > SimDuration::ZERO);
+        prop_assert!(out.duration < SimDuration::from_secs(12_000));
+    }
+
+    #[test]
+    fn deeper_severities_cost_more_on_average(seed in 0u64..500) {
+        let costs = SiraCosts::default();
+        let mut rng = SimRng::seed_from(seed);
+        let mut by_sev: Vec<Vec<f64>> = vec![Vec::new(); 8];
+        for _ in 0..300 {
+            let out = execute_cascade(UserFailure::PacketLoss, &costs, false, &mut rng);
+            if let Some(s) = out.severity {
+                by_sev[s as usize].push(out.duration.as_secs_f64());
+            }
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        // Compare the two most common severity buckets when populated.
+        if by_sev[2].len() > 5 && by_sev[6].len() > 5 {
+            prop_assert!(mean(&by_sev[6]) > mean(&by_sev[2]));
+        }
+    }
+
+    #[test]
+    fn every_policy_recovers_every_failure(seed in 0u64..2_000, f_idx in 0usize..10, p_idx in 0usize..4) {
+        let f = UserFailure::ALL[f_idx];
+        let policy = RecoveryPolicy::ALL[p_idx];
+        let costs = SiraCosts::default();
+        let mut rng = SimRng::seed_from(seed);
+        let out = policy.recover(f, &costs, false, &mut rng);
+        prop_assert!(out.duration > SimDuration::ZERO);
+        if matches!(policy, RecoveryPolicy::RebootOnly) {
+            prop_assert!(out.rebooted());
+        }
+    }
+
+    #[test]
+    fn masking_delay_bounded(seed in 0u64..5_000, f_idx in 0usize..10) {
+        let f = UserFailure::ALL[f_idx];
+        let m = Masking::all();
+        let mut rng = SimRng::seed_from(seed);
+        if let MaskOutcome::Masked { delay, retries } = m.try_mask(f, &mut rng) {
+            prop_assert!((1..=Masking::MAX_RETRIES).contains(&retries));
+            prop_assert!(delay <= Masking::RETRY_WAIT * u64::from(Masking::MAX_RETRIES));
+            prop_assert!(matches!(
+                f,
+                UserFailure::NapNotFound | UserFailure::SwitchRoleCommandFailed
+            ));
+        }
+    }
+}

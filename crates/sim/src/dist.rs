@@ -1,0 +1,617 @@
+//! Probability distributions used by the paper's workloads and models.
+//!
+//! The paper's `BlueTest` workload draws its cycle parameters from:
+//!
+//! * **uniform** distributions (scan/SDP flags, Random-WL `N`, `LS`, `LR`);
+//! * a **binomial-style choice** over the six baseband packet types;
+//! * **Pareto** distributions for the user passive off-time `TW`
+//!   (shape 1.5, after Crovella & Bestavros) and for resource sizes in
+//!   the Realistic WL;
+//! * assorted auxiliary laws used by our substitution models
+//!   (exponential inter-fault times, Weibull with k<1 for the latent
+//!   connection-setup hazard of Fig. 3b, log-normal recovery times).
+//!
+//! All samplers are implemented by inverse-CDF (or Box–Muller for the
+//! normal base of [`LogNormal`]) over [`SimRng`], keeping the workspace
+//! free of extra dependencies and fully deterministic.
+
+use crate::rng::SimRng;
+use std::fmt;
+
+/// Error returned when constructing a distribution with invalid
+/// parameters (non-positive scale/shape, empty support, NaN weight...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    what: &'static str,
+}
+
+impl ParamError {
+    fn new(what: &'static str) -> Self {
+        ParamError { what }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> T;
+}
+
+/// Continuous uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformF64 {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformF64 {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bounds are not finite or `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(ParamError::new("uniform bounds"));
+        }
+        Ok(UniformF64 { lo, hi })
+    }
+}
+
+impl Distribution<f64> for UniformF64 {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform_f64(self.lo, self.hi)
+    }
+}
+
+/// Discrete uniform on the inclusive integer range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformU64 {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformU64 {
+    /// Creates a discrete uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Result<Self, ParamError> {
+        if lo > hi {
+            return Err(ParamError::new("uniform integer bounds"));
+        }
+        Ok(UniformU64 { lo, hi })
+    }
+}
+
+impl Distribution<u64> for UniformU64 {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        rng.uniform_u64(self.lo, self.hi)
+    }
+}
+
+/// Bernoulli trial with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `p` is in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError::new("bernoulli p outside [0,1]"));
+        }
+        Ok(Bernoulli { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.p)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used for inter-arrival times of background system-log noise and
+/// transient interference episodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError::new("exponential rate"));
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `mean` is finite and positive.
+    pub fn from_mean(mean: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(ParamError::new("exponential mean"));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The distribution mean `1/lambda`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; 1-u in (0,1] avoids ln(0).
+        -(1.0 - rng.uniform01()).ln() / self.lambda
+    }
+}
+
+/// Pareto (type I) distribution with shape `alpha` and scale `xm`
+/// (minimum value). Heavy-tailed; the paper models the passive off-time
+/// `TW` as Pareto with shape 1.5 (Crovella & Bestavros).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+    xm: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `alpha` and `xm` are finite and positive.
+    pub fn new(alpha: f64, xm: f64) -> Result<Self, ParamError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(ParamError::new("pareto shape"));
+        }
+        if !xm.is_finite() || xm <= 0.0 {
+            return Err(ParamError::new("pareto scale"));
+        }
+        Ok(Pareto { alpha, xm })
+    }
+
+    /// The shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The scale (minimum) parameter.
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+
+    /// The theoretical mean, or `None` when `alpha <= 1` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.xm / (self.alpha - 1.0))
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = 1.0 - rng.uniform01(); // in (0, 1]
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Pareto truncated to `[xm, cap]` by resampling via inverse-CDF of the
+/// conditional law (exact, no rejection loop). Realistic-WL resource
+/// sizes use this so a single cycle cannot exceed the campaign length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedPareto {
+    inner: Pareto,
+    cap: f64,
+    /// CDF mass below the cap.
+    mass: f64,
+}
+
+impl TruncatedPareto {
+    /// Creates a Pareto distribution truncated at `cap`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for invalid Pareto parameters or if `cap <= xm`.
+    pub fn new(alpha: f64, xm: f64, cap: f64) -> Result<Self, ParamError> {
+        let inner = Pareto::new(alpha, xm)?;
+        if !cap.is_finite() || cap <= xm {
+            return Err(ParamError::new("pareto truncation cap"));
+        }
+        let mass = 1.0 - (xm / cap).powf(alpha);
+        Ok(TruncatedPareto { inner, cap, mass })
+    }
+
+    /// The truncation cap.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+impl Distribution<f64> for TruncatedPareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.uniform01() * self.mass;
+        let x = self.inner.xm / (1.0 - u).powf(1.0 / self.inner.alpha);
+        x.min(self.cap)
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// With `k < 1` the hazard rate is decreasing — our model for the
+/// latent connection-setup faults behind Fig. 3b ("young connections
+/// fail more").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    k: f64,
+    lambda: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless both parameters are finite and positive.
+    pub fn new(k: f64, lambda: f64) -> Result<Self, ParamError> {
+        if !k.is_finite() || k <= 0.0 {
+            return Err(ParamError::new("weibull shape"));
+        }
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ParamError::new("weibull scale"));
+        }
+        Ok(Weibull { k, lambda })
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-(x / self.lambda).powf(self.k)).exp()
+        }
+    }
+}
+
+impl Distribution<f64> for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = 1.0 - rng.uniform01();
+        self.lambda * (-u.ln()).powf(1.0 / self.k)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Used for SIRA recovery durations, which are positive and right-skewed
+/// (the paper reports TTR standard deviations comparable to the mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given parameters of the underlying
+    /// normal.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `mu` is finite and `sigma` is finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError::new("lognormal parameters"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Creates a log-normal with a target mean and coefficient of
+    /// variation (`cv = std/mean`) of the log-normal itself.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `mean > 0` and `cv >= 0` and both are finite.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || mean <= 0.0 || !cv.is_finite() || cv < 0.0 {
+            return Err(ParamError::new("lognormal mean/cv"));
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Ok(LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        })
+    }
+
+    /// The theoretical mean of the log-normal.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Box–Muller.
+        let u1 = (1.0 - rng.uniform01()).max(f64::MIN_POSITIVE);
+        let u2 = rng.uniform01();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Geometric distribution counting Bernoulli failures before the first
+/// success (support `0, 1, 2, ...`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `p` is in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(ParamError::new("geometric p"));
+        }
+        Ok(Geometric { p })
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = 1.0 - rng.uniform01();
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+/// Categorical distribution over `0..weights.len()`.
+///
+/// This is the workhorse behind the calibrated injection profiles: each
+/// paper-table row becomes a categorical over causes or SIRA outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    /// Cumulative weights, last == total.
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from non-negative weights
+    /// (not necessarily normalized).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("categorical with no categories"));
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParamError::new("categorical weight"));
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(ParamError::new("categorical weights sum to zero"));
+        }
+        Ok(Categorical { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there is exactly one category (then sampling is constant).
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees at least one category
+    }
+
+    /// The normalized probability of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+impl Distribution<usize> for Categorical {
+    fn sample(&self, rng: &mut SimRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.uniform01() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(0xBEEF)
+    }
+
+    #[test]
+    fn uniform_f64_bounds() {
+        let d = UniformF64::new(2.0, 5.0).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((2.0..5.0).contains(&x));
+        }
+        assert!(UniformF64::new(5.0, 2.0).is_err());
+        assert!(UniformF64::new(f64::NAN, 2.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::from_mean(4.0).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::from_mean(-1.0).is_err());
+    }
+
+    #[test]
+    fn pareto_min_and_mean() {
+        let d = Pareto::new(1.5, 10.0).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!(x >= 10.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        let expect = d.mean().unwrap(); // 1.5*10/0.5 = 30
+        assert_eq!(expect, 30.0);
+        // Heavy tail: generous tolerance.
+        assert!((mean - expect).abs() < 4.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_infinite_mean_flagged() {
+        assert!(Pareto::new(0.9, 1.0).unwrap().mean().is_none());
+        assert!(Pareto::new(1.0, 1.0).unwrap().mean().is_none());
+        assert!(Pareto::new(2.0, 1.0).unwrap().mean().is_some());
+    }
+
+    #[test]
+    fn truncated_pareto_respects_cap() {
+        let d = TruncatedPareto::new(1.2, 1.0, 100.0).unwrap();
+        let mut r = rng();
+        for _ in 0..20_000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..=100.0).contains(&x), "x={x}");
+        }
+        assert!(TruncatedPareto::new(1.2, 10.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn weibull_decreasing_hazard_shape() {
+        // With k<1 most mass is near zero: median < scale.
+        let d = Weibull::new(0.5, 100.0).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let below = (0..n).filter(|_| d.sample(&mut r) < 100.0).count();
+        // P(X < lambda) = 1 - e^-1 ≈ 0.632 for any k.
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.632).abs() < 0.02, "frac {frac}");
+        // survival checks
+        assert_eq!(d.survival(0.0), 1.0);
+        assert!(d.survival(1.0) > d.survival(10.0));
+    }
+
+    #[test]
+    fn lognormal_mean_cv_round_trip() {
+        let d = LogNormal::from_mean_cv(50.0, 0.8).unwrap();
+        assert!((d.mean() - 50.0).abs() < 1e-9);
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let d = Geometric::new(0.25).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        // mean = (1-p)/p = 3
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(Geometric::new(1.0).unwrap().sample(&mut r), 0);
+        assert!(Geometric::new(0.0).is_err());
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let d = Categorical::new(&[1.0, 3.0, 6.0]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!((d.probability(0) - 0.1).abs() < 1e-12);
+        assert!((d.probability(2) - 0.6).abs() < 1e-12);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_zero_weight_categories_never_sampled() {
+        let d = Categorical::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_invalid_params() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[-1.0, 2.0]).is_err());
+        assert!(Categorical::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn param_error_displays() {
+        let e = Pareto::new(-1.0, 1.0).unwrap_err();
+        assert!(e.to_string().contains("pareto shape"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Generic discrete-event engine.
+//!
+//! The campaign layer (in `btpan-core`) defines an event enum and a
+//! [`EventHandler`] world; the engine owns the clock and the pending
+//! event queue. Two events scheduled for the same instant fire in the
+//! order they were scheduled (FIFO tie-break via a monotone sequence
+//! number), which keeps multi-node campaigns deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A world that reacts to events of type `E`.
+pub trait EventHandler<E> {
+    /// Handles `event` occurring at `now`; may schedule follow-ups.
+    fn handle(&mut self, now: SimTime, event: E, scheduler: &mut Scheduler<E>);
+}
+
+#[derive(Debug)]
+struct Pending<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The scheduling facade handed to event handlers.
+///
+/// Handlers can enqueue future events but cannot advance the clock or
+/// drain the queue — that stays with [`Engine::run_until`].
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Pending<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (causality violation).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Pending { at, seq, event });
+    }
+
+    /// Schedules `event` to fire after `delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The discrete-event engine: a clock plus a pending-event queue.
+///
+/// ```
+/// use btpan_sim::engine::{Engine, EventHandler, Scheduler};
+/// use btpan_sim::time::{SimDuration, SimTime};
+///
+/// struct Counter(u32);
+/// impl EventHandler<&'static str> for Counter {
+///     fn handle(&mut self, now: SimTime, ev: &'static str, s: &mut Scheduler<&'static str>) {
+///         self.0 += 1;
+///         if ev == "tick" && self.0 < 3 {
+///             s.schedule_after(SimDuration::from_secs(1), "tick");
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.scheduler().schedule_at(SimTime::ZERO, "tick");
+/// let mut world = Counter(0);
+/// engine.run_until(SimTime::from_secs(100), &mut world);
+/// assert_eq!(world.0, 3);
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    scheduler: Scheduler<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an empty queue at time zero.
+    pub fn new() -> Self {
+        Engine {
+            scheduler: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Access to the scheduler, e.g. for seeding initial events.
+    pub fn scheduler(&mut self) -> &mut Scheduler<E> {
+        &mut self.scheduler
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs the simulation until the queue empties or the next event
+    /// would fire after `deadline`. Events exactly at the deadline are
+    /// processed. Returns the number of events processed by this call.
+    pub fn run_until<W: EventHandler<E>>(&mut self, deadline: SimTime, world: &mut W) -> u64 {
+        let mut n = 0;
+        while let Some(head) = self.scheduler.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let pending = self.scheduler.queue.pop().expect("peeked");
+            debug_assert!(pending.at >= self.scheduler.now, "time went backwards");
+            self.scheduler.now = pending.at;
+            world.handle(pending.at, pending.event, &mut self.scheduler);
+            n += 1;
+        }
+        // Advance the clock to the deadline even if the queue went quiet.
+        if self.scheduler.now < deadline {
+            self.scheduler.now = deadline;
+        }
+        self.processed += n;
+        n
+    }
+
+    /// Processes a single event if one is pending; returns its time.
+    pub fn step<W: EventHandler<E>>(&mut self, world: &mut W) -> Option<SimTime> {
+        let pending = self.scheduler.queue.pop()?;
+        self.scheduler.now = pending.at;
+        world.handle(pending.at, pending.event, &mut self.scheduler);
+        self.processed += 1;
+        Some(pending.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl EventHandler<u32> for Recorder {
+        fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+            self.seen.push((now.as_micros(), ev));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine = Engine::new();
+        engine.scheduler().schedule_at(SimTime::from_micros(30), 3);
+        engine.scheduler().schedule_at(SimTime::from_micros(10), 1);
+        engine.scheduler().schedule_at(SimTime::from_micros(20), 2);
+        let mut world = Recorder::default();
+        engine.run_until(SimTime::from_secs(1), &mut world);
+        assert_eq!(world.seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut engine = Engine::new();
+        for ev in 0..10 {
+            engine.scheduler().schedule_at(SimTime::from_micros(5), ev);
+        }
+        let mut world = Recorder::default();
+        engine.run_until(SimTime::from_secs(1), &mut world);
+        let order: Vec<u32> = world.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadline_is_inclusive_and_clock_advances() {
+        let mut engine = Engine::new();
+        engine.scheduler().schedule_at(SimTime::from_secs(5), 1);
+        engine.scheduler().schedule_at(SimTime::from_secs(6), 2);
+        let mut world = Recorder::default();
+        let n = engine.run_until(SimTime::from_secs(5), &mut world);
+        assert_eq!(n, 1);
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+        // queue still holds the later event
+        let n = engine.run_until(SimTime::from_secs(10), &mut world);
+        assert_eq!(n, 1);
+        assert_eq!(engine.now(), SimTime::from_secs(10));
+        assert_eq!(engine.processed(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        struct Chain;
+        impl EventHandler<u32> for Chain {
+            fn handle(&mut self, _now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+                if ev < 5 {
+                    s.schedule_after(SimDuration::from_secs(1), ev + 1);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.scheduler().schedule_at(SimTime::ZERO, 0);
+        let mut world = Chain;
+        let n = engine.run_until(SimTime::from_secs(100), &mut world);
+        assert_eq!(n, 6);
+        assert_eq!(engine.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.scheduler().schedule_at(SimTime::from_secs(1), 1);
+        let mut world = Recorder::default();
+        engine.run_until(SimTime::from_secs(2), &mut world);
+        engine.scheduler().schedule_at(SimTime::from_secs(1), 2);
+    }
+
+    #[test]
+    fn step_processes_one() {
+        let mut engine = Engine::new();
+        engine.scheduler().schedule_at(SimTime::from_micros(7), 1);
+        engine.scheduler().schedule_at(SimTime::from_micros(9), 2);
+        let mut world = Recorder::default();
+        assert_eq!(engine.step(&mut world), Some(SimTime::from_micros(7)));
+        assert_eq!(engine.step(&mut world), Some(SimTime::from_micros(9)));
+        assert_eq!(engine.step(&mut world), None);
+    }
+
+    #[test]
+    fn pending_count() {
+        let mut engine: Engine<u32> = Engine::new();
+        assert_eq!(engine.scheduler().pending(), 0);
+        engine.scheduler().schedule_after(SimDuration::from_secs(1), 1);
+        engine.scheduler().schedule_after(SimDuration::from_secs(2), 2);
+        assert_eq!(engine.scheduler().pending(), 2);
+    }
+}

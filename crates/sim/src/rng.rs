@@ -1,0 +1,259 @@
+//! Deterministic, forkable random-number generation.
+//!
+//! Every stochastic component of the simulated testbed (channel noise,
+//! fault activation, workload parameters, per-host quirks) draws from its
+//! own [`SimRng`] substream, forked from a single campaign seed. Forking
+//! uses the SplitMix64 finalizer over `(parent_state, label)` so that:
+//!
+//! * the same campaign seed reproduces the whole campaign bit-for-bit;
+//! * adding draws to one component never perturbs another component's
+//!   stream (no accidental coupling between, say, the channel model and
+//!   the workload).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random source with labelled, independent substreams.
+///
+/// ```
+/// use btpan_sim::rng::SimRng;
+/// use rand::RngCore;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let mut fork = a.fork("channel");
+/// let _ = fork.next_u64(); // independent of `a`'s future draws
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+/// SplitMix64 finalizer; good avalanche for seed derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a label, for stable stream names.
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl SimRng {
+    /// Creates a generator from a campaign seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            seed,
+        }
+    }
+
+    /// The seed this generator (or its fork lineage root) was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Forks an independent substream identified by `label`.
+    ///
+    /// Forking does not consume randomness from `self`, so the set of
+    /// forks taken from a generator never changes its own draw sequence.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let derived = splitmix64(self.seed ^ hash_label(label).rotate_left(17));
+        SimRng {
+            inner: SmallRng::seed_from_u64(derived),
+            seed: derived,
+        }
+    }
+
+    /// Forks an independent substream identified by a label and an index
+    /// (e.g. one stream per node or per month).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        let derived = splitmix64(
+            self.seed ^ hash_label(label).rotate_left(17) ^ splitmix64(index).rotate_left(31),
+        );
+        SimRng {
+            inner: SmallRng::seed_from_u64(derived),
+            seed: derived,
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64: empty range {lo}..={hi}");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in the half-open range `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_f64: empty range");
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform01() < p
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        let i = self.uniform_u64(0, items.len() as u64 - 1) as usize;
+        &items[i]
+    }
+
+    /// Fisher–Yates shuffle of a mutable slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_u64(0, i as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_draws() {
+        let parent = SimRng::seed_from(9);
+        let mut f1 = parent.fork("x");
+        let mut parent2 = parent.clone();
+        let _ = parent2.next_u64(); // consuming the parent...
+        let mut f2 = parent2.fork("x"); // ...does not change the fork
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn forks_with_different_labels_differ() {
+        let parent = SimRng::seed_from(9);
+        let mut a = parent.fork("alpha");
+        let mut b = parent.fork("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut c = parent.fork_indexed("node", 0);
+        let mut d = parent.fork_indexed("node", 1);
+        assert_ne!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn uniform01_in_unit_interval() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform01();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform01_mean_near_half() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform01()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_u64_covers_range() {
+        let mut rng = SimRng::seed_from(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.uniform_u64(0, 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let mut rng = SimRng::seed_from(6);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_empty_range_panics() {
+        let mut rng = SimRng::seed_from(8);
+        let _ = rng.uniform_u64(5, 4);
+    }
+}

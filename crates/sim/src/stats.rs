@@ -1,0 +1,370 @@
+//! Running statistics, histograms and percentiles.
+//!
+//! The paper reports, for every scenario, MTTF/MTTR together with their
+//! standard deviation, minimum and maximum (Table 4). [`RunningStats`]
+//! accumulates exactly that set with Welford's numerically stable
+//! algorithm; [`Histogram`] backs the failure-distribution figures
+//! (Fig. 3a–c, Fig. 4); [`Summary`] is the serializable snapshot the
+//! report generator embeds in EXPERIMENTS.md evidence.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Online mean/variance/min/max accumulator (Welford).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n-1 denominator), or `None` with fewer than two
+    /// observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.n as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Immutable snapshot of the accumulated statistics.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean().unwrap_or(0.0),
+            std_dev: self.std_dev().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A serializable snapshot of [`RunningStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when undefined).
+    pub std_dev: f64,
+    /// Minimum observation (0 when empty).
+    pub min: f64,
+    /// Maximum observation (0 when empty).
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} std={:.2} min={:.2} max={:.2}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or bounds are not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `[lo, hi)` of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Underflow count.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Overflow count.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of all observations falling into bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.total as f64
+        }
+    }
+}
+
+/// Exact percentile of a sample via sorting (linear interpolation,
+/// inclusive method). `q` in `[0, 100]`.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_known_values() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // sample variance with n-1: sum sq dev = 32, /7
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.summary().count, 0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = data.split_at(37);
+        let mut s1: RunningStats = a.iter().copied().collect();
+        let s2: RunningStats = b.iter().copied().collect();
+        s1.merge(&s2);
+        let whole: RunningStats = data.iter().copied().collect();
+        assert_eq!(s1.count(), whole.count());
+        assert!((s1.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((s1.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(s1.min(), whole.min());
+        assert_eq!(s1.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut s: RunningStats = [1.0, 2.0].into_iter().collect();
+        s.merge(&RunningStats::new());
+        assert_eq!(s.count(), 2);
+        let mut e = RunningStats::new();
+        e.merge(&s);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 5.5] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin(0), 2); // 0.0, 1.9
+        assert_eq!(h.bin(1), 1); // 2.0
+        assert_eq!(h.bin(2), 1); // 5.5
+        assert_eq!(h.bin(4), 1); // 9.99
+        assert_eq!(h.bin_range(1), (2.0, 4.0));
+        assert!((h.fraction(0) - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 25.0), Some(2.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        // interpolation
+        let v2 = [1.0, 2.0];
+        assert_eq!(percentile(&v2, 50.0), Some(1.5));
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: RunningStats = [1.0, 3.0].into_iter().collect();
+        let d = s.summary().to_string();
+        assert!(d.contains("n=2"));
+        assert!(d.contains("mean=2.00"));
+    }
+}

@@ -1,0 +1,212 @@
+//! BNEP: the Bluetooth Network Encapsulation Protocol interface.
+//!
+//! BNEP encapsulates IP packets into L2CAP packets and provides the
+//! Ethernet abstraction (`bnep0`). The interface comes up in two steps —
+//! the BT stack *creates* it once the L2CAP channel exists, and the OS
+//! hotplug machinery *configures* it (addresses, routes) asynchronously.
+//! Binding a socket between those steps is the paper's bind race.
+
+use btpan_sim::time::SimTime;
+use std::fmt;
+
+/// The BNEP Ethernet MTU used throughout the paper (Fig. 3b fixes
+/// `LS = LR = 1691` bytes, "that is, the BNEP MTU").
+pub const BNEP_MTU: u32 = 1691;
+
+/// Lifecycle states of a BNEP network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterfaceState {
+    /// The interface does not exist (no L2CAP/BNEP channel yet).
+    Absent,
+    /// Created by the BT stack but not yet configured by hotplug.
+    Created,
+    /// Configured and ready for socket binds.
+    Up,
+}
+
+/// BNEP-level errors (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BnepError {
+    /// "Failed to add a connection, can't locate module bnep0".
+    ModuleMissing,
+    /// "bnep occupied" — the device is already in use.
+    Occupied,
+}
+
+impl fmt::Display for BnepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BnepError::ModuleMissing => write!(f, "bnep: can't locate module bnep0"),
+            BnepError::Occupied => write!(f, "bnep: device occupied"),
+        }
+    }
+}
+
+impl std::error::Error for BnepError {}
+
+/// A `bnep0`-style network interface with its two-step bring-up.
+#[derive(Debug, Clone)]
+pub struct BnepInterface {
+    state: InterfaceState,
+    /// When the BT stack created the interface.
+    created_at: Option<SimTime>,
+    /// When hotplug finished configuring it.
+    up_at: Option<SimTime>,
+    frames_encapsulated: u64,
+}
+
+impl Default for BnepInterface {
+    fn default() -> Self {
+        BnepInterface::new()
+    }
+}
+
+impl BnepInterface {
+    /// A fresh, absent interface.
+    pub fn new() -> Self {
+        BnepInterface {
+            state: InterfaceState::Absent,
+            created_at: None,
+            up_at: None,
+            frames_encapsulated: 0,
+        }
+    }
+
+    /// The state as observable at instant `now` (time-aware: the
+    /// interface transitions happen at their scheduled instants).
+    pub fn state_at(&self, now: SimTime) -> InterfaceState {
+        match (self.created_at, self.up_at) {
+            (Some(c), Some(u)) if now >= u && u >= c => InterfaceState::Up,
+            (Some(c), _) if now >= c => InterfaceState::Created,
+            _ => InterfaceState::Absent,
+        }
+    }
+
+    /// Schedules the two-step bring-up: created at `created_at`,
+    /// configured (up) at `up_at`.
+    ///
+    /// # Errors
+    ///
+    /// [`BnepError::Occupied`] if a bring-up is already scheduled, and
+    /// [`BnepError::ModuleMissing`] if `up_at < created_at` (a corrupted
+    /// schedule).
+    pub fn schedule_bring_up(
+        &mut self,
+        created_at: SimTime,
+        up_at: SimTime,
+    ) -> Result<(), BnepError> {
+        if self.created_at.is_some() {
+            return Err(BnepError::Occupied);
+        }
+        if up_at < created_at {
+            return Err(BnepError::ModuleMissing);
+        }
+        self.created_at = Some(created_at);
+        self.up_at = Some(up_at);
+        self.state = InterfaceState::Created;
+        Ok(())
+    }
+
+    /// When the interface becomes (or became) fully configured.
+    pub fn up_at(&self) -> Option<SimTime> {
+        self.up_at
+    }
+
+    /// Encapsulates one Ethernet frame of `len` bytes at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`BnepError::ModuleMissing`] when the interface is not up yet.
+    pub fn encapsulate(&mut self, now: SimTime, len: u32) -> Result<u32, BnepError> {
+        if self.state_at(now) != InterfaceState::Up {
+            return Err(BnepError::ModuleMissing);
+        }
+        self.frames_encapsulated += 1;
+        // BNEP header (15 bytes max with extension) rides inside L2CAP.
+        Ok(len.min(BNEP_MTU))
+    }
+
+    /// Frames encapsulated so far.
+    pub fn frames_encapsulated(&self) -> u64 {
+        self.frames_encapsulated
+    }
+
+    /// Tears the interface down (disconnect or BT connection reset).
+    pub fn tear_down(&mut self) {
+        *self = BnepInterface::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn two_step_bring_up_timeline() {
+        let mut ifc = BnepInterface::new();
+        assert_eq!(ifc.state_at(ms(0)), InterfaceState::Absent);
+        ifc.schedule_bring_up(ms(100), ms(250)).unwrap();
+        assert_eq!(ifc.state_at(ms(50)), InterfaceState::Absent);
+        assert_eq!(ifc.state_at(ms(100)), InterfaceState::Created);
+        assert_eq!(ifc.state_at(ms(249)), InterfaceState::Created);
+        assert_eq!(ifc.state_at(ms(250)), InterfaceState::Up);
+        assert_eq!(ifc.up_at(), Some(ms(250)));
+    }
+
+    #[test]
+    fn double_bring_up_is_occupied() {
+        let mut ifc = BnepInterface::new();
+        ifc.schedule_bring_up(ms(1), ms(2)).unwrap();
+        assert_eq!(
+            ifc.schedule_bring_up(ms(3), ms(4)),
+            Err(BnepError::Occupied)
+        );
+    }
+
+    #[test]
+    fn corrupted_schedule_rejected() {
+        let mut ifc = BnepInterface::new();
+        assert_eq!(
+            ifc.schedule_bring_up(ms(10), ms(5)),
+            Err(BnepError::ModuleMissing)
+        );
+    }
+
+    #[test]
+    fn encapsulation_requires_up() {
+        let mut ifc = BnepInterface::new();
+        ifc.schedule_bring_up(ms(10), ms(20)).unwrap();
+        assert_eq!(ifc.encapsulate(ms(15), 100), Err(BnepError::ModuleMissing));
+        assert_eq!(ifc.encapsulate(ms(20), 100), Ok(100));
+        assert_eq!(ifc.frames_encapsulated(), 1);
+    }
+
+    #[test]
+    fn mtu_clamps_frames() {
+        let mut ifc = BnepInterface::new();
+        ifc.schedule_bring_up(ms(0), ms(0)).unwrap();
+        assert_eq!(ifc.encapsulate(ms(1), 5000), Ok(BNEP_MTU));
+    }
+
+    #[test]
+    fn tear_down_resets() {
+        let mut ifc = BnepInterface::new();
+        ifc.schedule_bring_up(ms(0), ms(0)).unwrap();
+        ifc.encapsulate(ms(1), 10).unwrap();
+        ifc.tear_down();
+        assert_eq!(ifc.state_at(ms(10)), InterfaceState::Absent);
+        assert_eq!(ifc.frames_encapsulated(), 0);
+        // can be brought up again
+        assert!(ifc.schedule_bring_up(ms(20), ms(21)).is_ok());
+    }
+
+    #[test]
+    fn error_messages_match_table1() {
+        assert!(BnepError::ModuleMissing.to_string().contains("bnep0"));
+        assert!(BnepError::Occupied.to_string().contains("occupied"));
+    }
+}

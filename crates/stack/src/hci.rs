@@ -1,0 +1,302 @@
+//! Host Controller Interface command layer.
+//!
+//! The HCI is the API the host uses to reach the baseband controller and
+//! link manager. Two of its failure modes dominate the paper's Table 2:
+//! *command timeout* ("timeout in the transmission of the command to the
+//! BT firmware" — typical on a busy device) and *command for unknown
+//! connection handle* (issuing an operation before the connection it
+//! references exists — exactly what the unmasked bind path does).
+
+use btpan_sim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A 12-bit HCI connection handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HciHandle(u16);
+
+impl HciHandle {
+    /// The raw handle value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for HciHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:03x}", self.0)
+    }
+}
+
+/// HCI command errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HciError {
+    /// The command did not reach the firmware within the timeout.
+    CommandTimeout,
+    /// The referenced connection handle does not exist.
+    InvalidHandle,
+    /// The controller has no free connection handles.
+    NoFreeHandles,
+}
+
+impl fmt::Display for HciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HciError::CommandTimeout => write!(f, "HCI command timeout"),
+            HciError::InvalidHandle => write!(f, "HCI command for invalid handle"),
+            HciError::NoFreeHandles => write!(f, "no free HCI connection handles"),
+        }
+    }
+}
+
+impl std::error::Error for HciError {}
+
+/// State of one HCI connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandleState {
+    /// Connection request accepted; the link is being created and the
+    /// handle is not yet usable (commands referencing it fail until
+    /// `usable_at`). This models the `T_C` interval of the bind race.
+    Pending { usable_at: SimTime },
+    /// The handle references a live link.
+    Open,
+}
+
+/// The HCI command layer of one host.
+#[derive(Debug, Clone)]
+pub struct HciController {
+    handles: BTreeMap<u16, HandleState>,
+    next_handle: u16,
+    command_timeout: SimDuration,
+    /// Commands issued (statistics / log correlation).
+    commands_issued: u64,
+}
+
+impl HciController {
+    /// Maximum simultaneous ACL connections per controller.
+    pub const MAX_HANDLES: usize = 8;
+
+    /// Creates a controller with the given command timeout (the paper's
+    /// BlueZ default path uses 10 s; the switch-role masking discussion
+    /// suggests raising it).
+    pub fn new(command_timeout: SimDuration) -> Self {
+        HciController {
+            handles: BTreeMap::new(),
+            next_handle: 1,
+            command_timeout,
+            commands_issued: 0,
+        }
+    }
+
+    /// The configured command timeout.
+    pub fn command_timeout(&self) -> SimDuration {
+        self.command_timeout
+    }
+
+    /// Number of commands issued so far.
+    pub fn commands_issued(&self) -> u64 {
+        self.commands_issued
+    }
+
+    /// Number of live (open or pending) handles.
+    pub fn handle_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Begins creating a connection at `now`; the returned handle
+    /// becomes usable once the link-setup latency `setup` elapses
+    /// (`T_C`).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`HciError::NoFreeHandles`] when all handles are taken.
+    pub fn create_connection(
+        &mut self,
+        now: SimTime,
+        setup: SimDuration,
+    ) -> Result<HciHandle, HciError> {
+        self.commands_issued += 1;
+        if self.handles.len() >= Self::MAX_HANDLES {
+            return Err(HciError::NoFreeHandles);
+        }
+        // find a free handle value (wrap at 0xEFF)
+        let mut h = self.next_handle;
+        while self.handles.contains_key(&h) {
+            h = if h >= 0xEFF { 1 } else { h + 1 };
+        }
+        self.next_handle = if h >= 0xEFF { 1 } else { h + 1 };
+        self.handles.insert(
+            h,
+            HandleState::Pending {
+                usable_at: now + setup,
+            },
+        );
+        Ok(HciHandle(h))
+    }
+
+    /// True once the handle's link setup has completed at `now`.
+    pub fn is_usable(&self, handle: HciHandle, now: SimTime) -> bool {
+        match self.handles.get(&handle.0) {
+            Some(HandleState::Open) => true,
+            Some(HandleState::Pending { usable_at }) => now >= *usable_at,
+            None => false,
+        }
+    }
+
+    /// Issues a command referencing `handle` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`HciError::InvalidHandle`] — the handle does not exist or its
+    ///   link is still being set up (the `T_C` race);
+    /// * [`HciError::CommandTimeout`] — when `busy` is true the firmware
+    ///   cannot take the command in time (connection request on a busy
+    ///   device, the paper's dominant Connect-failed cause).
+    pub fn command(
+        &mut self,
+        handle: HciHandle,
+        now: SimTime,
+        busy: bool,
+    ) -> Result<(), HciError> {
+        self.commands_issued += 1;
+        if busy {
+            return Err(HciError::CommandTimeout);
+        }
+        match self.handles.get_mut(&handle.0) {
+            None => Err(HciError::InvalidHandle),
+            Some(state) => match *state {
+                HandleState::Open => Ok(()),
+                HandleState::Pending { usable_at } if now >= usable_at => {
+                    *state = HandleState::Open;
+                    Ok(())
+                }
+                HandleState::Pending { .. } => Err(HciError::InvalidHandle),
+            },
+        }
+    }
+
+    /// Tears down a connection handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`HciError::InvalidHandle`] for an unknown handle.
+    pub fn disconnect(&mut self, handle: HciHandle) -> Result<(), HciError> {
+        self.commands_issued += 1;
+        self.handles
+            .remove(&handle.0)
+            .map(|_| ())
+            .ok_or(HciError::InvalidHandle)
+    }
+
+    /// Drops every handle (BT stack reset / reboot).
+    pub fn reset(&mut self) {
+        self.handles.clear();
+        self.next_handle = 1;
+    }
+}
+
+impl Default for HciController {
+    fn default() -> Self {
+        HciController::new(SimDuration::from_secs(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn connection_lifecycle() {
+        let mut hci = HciController::default();
+        let h = hci
+            .create_connection(t(0), SimDuration::from_millis(100))
+            .unwrap();
+        assert_eq!(hci.handle_count(), 1);
+        assert!(hci.is_usable(h, t(1)));
+        hci.command(h, t(1), false).unwrap();
+        hci.disconnect(h).unwrap();
+        assert_eq!(hci.handle_count(), 0);
+        assert_eq!(hci.disconnect(h), Err(HciError::InvalidHandle));
+    }
+
+    #[test]
+    fn pending_handle_rejects_commands_before_tc() {
+        // The bind race, lower half: a command issued before T_C elapses
+        // hits "command for invalid handle".
+        let mut hci = HciController::default();
+        let h = hci
+            .create_connection(t(0), SimDuration::from_millis(500))
+            .unwrap();
+        assert!(!hci.is_usable(h, SimTime::from_millis(100)));
+        assert_eq!(
+            hci.command(h, SimTime::from_millis(100), false),
+            Err(HciError::InvalidHandle)
+        );
+        // After T_C the same command succeeds.
+        assert_eq!(hci.command(h, SimTime::from_millis(600), false), Ok(()));
+    }
+
+    #[test]
+    fn busy_device_times_out() {
+        let mut hci = HciController::default();
+        let h = hci
+            .create_connection(t(0), SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(hci.command(h, t(1), true), Err(HciError::CommandTimeout));
+        assert_eq!(hci.command(h, t(1), false), Ok(()));
+    }
+
+    #[test]
+    fn handle_exhaustion() {
+        let mut hci = HciController::default();
+        let handles: Vec<_> = (0..HciController::MAX_HANDLES)
+            .map(|_| hci.create_connection(t(0), SimDuration::ZERO).unwrap())
+            .collect();
+        assert_eq!(
+            hci.create_connection(t(0), SimDuration::ZERO),
+            Err(HciError::NoFreeHandles)
+        );
+        hci.disconnect(handles[3]).unwrap();
+        assert!(hci.create_connection(t(0), SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut hci = HciController::default();
+        let a = hci.create_connection(t(0), SimDuration::ZERO).unwrap();
+        let b = hci.create_connection(t(0), SimDuration::ZERO).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut hci = HciController::default();
+        let h = hci.create_connection(t(0), SimDuration::ZERO).unwrap();
+        hci.reset();
+        assert_eq!(hci.handle_count(), 0);
+        assert!(!hci.is_usable(h, t(10)));
+        assert_eq!(hci.command(h, t(10), false), Err(HciError::InvalidHandle));
+    }
+
+    #[test]
+    fn command_counter_increments() {
+        let mut hci = HciController::default();
+        let h = hci.create_connection(t(0), SimDuration::ZERO).unwrap();
+        let _ = hci.command(h, t(1), false);
+        let _ = hci.disconnect(h);
+        assert_eq!(hci.commands_issued(), 3);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(HciError::CommandTimeout.to_string(), "HCI command timeout");
+        assert_eq!(
+            HciError::InvalidHandle.to_string(),
+            "HCI command for invalid handle"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The OS hotplug / HAL daemon and the `T_C`/`T_H` setup timing.
+//!
+//! From the paper's source-code investigation: creating an IP interface
+//! over BT needs (i) an interval `T_C` for the L2CAP connection, and
+//! (ii) an interval `T_H` for the BT stack to build the BNEP virtual
+//! interface and for the OS hotplug machinery to configure it. The PAN
+//! connect API is **not synchronous** with `T_C` and `T_H`: a bind
+//! issued before `T_C` hits "HCI command for invalid handle"; a bind
+//! after `T_C` but before `T_H` finds the interface missing or
+//! unconfigured.
+//!
+//! On healthy hosts both intervals are tens of milliseconds. On the
+//! HAL-bug hosts (`Azzurro`'s Fedora HAL, `Win`'s Broadcom stack) each
+//! step has a slow path lasting seconds — that is what makes those two
+//! machines the only ones exhibiting bind failures (Fig. 4), at a rate
+//! calibrated to the failure mix (≈ 1.1 % of cycles).
+
+use btpan_sim::prelude::*;
+use btpan_sim::time::{SimDuration, SimTime};
+
+/// Sampled setup timing of one PAN connection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetupTiming {
+    /// `T_C`: when the L2CAP connection handle becomes valid.
+    pub l2cap_usable_at: SimTime,
+    /// When the BT stack creates the BNEP interface (shortly after
+    /// `T_C`).
+    pub iface_created_at: SimTime,
+    /// `T_C + T_H`: when hotplug finishes configuring the interface.
+    pub iface_up_at: SimTime,
+}
+
+impl SetupTiming {
+    /// Total setup latency from the connect call.
+    pub fn total_from(&self, start: SimTime) -> SimDuration {
+        self.iface_up_at.since(start)
+    }
+}
+
+/// Timing model of the hotplug/HAL daemon for one host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotplugDaemon {
+    /// Probability `T_C` takes the slow path (seconds instead of ms).
+    pub p_slow_tc: f64,
+    /// Probability `T_H` takes the slow path, given `T_C` was fast.
+    pub p_slow_th: f64,
+}
+
+impl HotplugDaemon {
+    /// A healthy host: both slow-path probabilities are zero.
+    pub fn healthy() -> Self {
+        HotplugDaemon {
+            p_slow_tc: 0.0,
+            p_slow_th: 0.0,
+        }
+    }
+
+    /// A HAL-bug host (`Azzurro`, `Win`), calibrated so that an
+    /// *immediate* bind (the unmasked application behaviour) fails on
+    /// ≈ 1.1 % of cycles, split ≈ 60/40 between before-`T_C`
+    /// (HCI invalid handle) and after-`T_C` (hotplug/BNEP) — matching
+    /// the bind row of the Table 2 cause profile.
+    pub fn hal_bug() -> Self {
+        HotplugDaemon {
+            p_slow_tc: 0.0065,
+            p_slow_th: 0.00450,
+        }
+    }
+
+    /// Samples the setup timing for a connection started at `start`.
+    pub fn sample(&self, start: SimTime, rng: &mut SimRng) -> SetupTiming {
+        let tc = if rng.chance(self.p_slow_tc) {
+            // Slow path: HAL/driver stall of seconds.
+            SimDuration::from_millis(rng.uniform_u64(1_500, 6_000))
+        } else {
+            SimDuration::from_millis(rng.uniform_u64(30, 80))
+        };
+        let create_gap = SimDuration::from_millis(rng.uniform_u64(2, 10));
+        let th = if rng.chance(self.p_slow_th) {
+            SimDuration::from_millis(rng.uniform_u64(1_500, 8_000))
+        } else {
+            SimDuration::from_millis(rng.uniform_u64(20, 60))
+        };
+        let l2cap_usable_at = start + tc;
+        let iface_created_at = l2cap_usable_at + create_gap;
+        SetupTiming {
+            l2cap_usable_at,
+            iface_created_at,
+            iface_up_at: iface_created_at + th,
+        }
+    }
+
+    /// Probability an immediate bind (issued `bind_after` after the
+    /// connect call) fails on this host: the closed-form counterpart of
+    /// [`HotplugDaemon::sample`], used by calibration tests.
+    pub fn p_immediate_bind_failure(&self, bind_after: SimDuration) -> f64 {
+        // Fast paths always finish well under 160 ms; slow paths always
+        // exceed 1.5 s. With bind_after in between, failures happen iff
+        // either slow path fires.
+        assert!(
+            bind_after >= SimDuration::from_millis(160)
+                && bind_after <= SimDuration::from_millis(1_500),
+            "bind_after outside the separating band"
+        );
+        self.p_slow_tc + (1.0 - self.p_slow_tc) * self.p_slow_th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(0xB1ED)
+    }
+
+    #[test]
+    fn timings_are_ordered() {
+        let d = HotplugDaemon::hal_bug();
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let t = d.sample(SimTime::from_secs(1), &mut r);
+            assert!(t.l2cap_usable_at > SimTime::from_secs(1));
+            assert!(t.iface_created_at >= t.l2cap_usable_at);
+            assert!(t.iface_up_at >= t.iface_created_at);
+        }
+    }
+
+    #[test]
+    fn healthy_host_is_fast() {
+        let d = HotplugDaemon::healthy();
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let t = d.sample(SimTime::ZERO, &mut r);
+            assert!(t.total_from(SimTime::ZERO) < SimDuration::from_millis(160));
+        }
+    }
+
+    #[test]
+    fn hal_bug_rate_matches_calibration() {
+        let d = HotplugDaemon::hal_bug();
+        let mut r = rng();
+        let bind_after = SimDuration::from_millis(200);
+        let n = 100_000;
+        let mut before_tc = 0u32;
+        let mut after_tc = 0u32;
+        for _ in 0..n {
+            let t = d.sample(SimTime::ZERO, &mut r);
+            let bind_at = SimTime::ZERO + bind_after;
+            if bind_at < t.l2cap_usable_at {
+                before_tc += 1;
+            } else if bind_at < t.iface_up_at {
+                after_tc += 1;
+            }
+        }
+        let total = f64::from(before_tc + after_tc) / n as f64;
+        let expect = d.p_immediate_bind_failure(bind_after); // ≈ 0.0603
+        assert!((total - expect).abs() < 0.002, "total {total} vs {expect}");
+        assert!((expect - 0.01097).abs() < 0.0005, "calibration drifted: {expect}");
+        // Cause split ≈ 60/40 HCI vs hotplug (Table 2 bind row).
+        let hci_share = f64::from(before_tc) / f64::from(before_tc + after_tc);
+        assert!((hci_share - 0.596).abs() < 0.05, "hci share {hci_share}");
+    }
+
+    #[test]
+    fn closed_form_matches_parameters() {
+        let d = HotplugDaemon::hal_bug();
+        let p = d.p_immediate_bind_failure(SimDuration::from_millis(200));
+        assert!((p - (0.0065 + 0.9935 * 0.00450)).abs() < 1e-12);
+        assert_eq!(
+            HotplugDaemon::healthy().p_immediate_bind_failure(SimDuration::from_millis(200)),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "separating band")]
+    fn closed_form_guards_band() {
+        let _ = HotplugDaemon::hal_bug().p_immediate_bind_failure(SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,268 @@
+//! L2CAP connection-oriented channels.
+//!
+//! The Logical Link Control and Adaptation Protocol provides
+//! connection-oriented data services with multiplexing, segmentation and
+//! reassembly. The PAN profile runs BNEP over an L2CAP channel on PSM
+//! 0x000F. This module implements the channel state machine
+//! (closed → wait-connect → wait-config → open) and the segmentation
+//! accounting the baseband layer needs.
+
+use btpan_sim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// PSM assigned to BNEP by the Bluetooth SIG.
+pub const PSM_BNEP: u16 = 0x000F;
+/// PSM assigned to SDP.
+pub const PSM_SDP: u16 = 0x0001;
+/// Default L2CAP MTU for BNEP channels (must carry the 1691-byte BNEP
+/// Ethernet payload including headers).
+pub const BNEP_L2CAP_MTU: u16 = 1691;
+
+/// Channel states of the L2CAP connection-oriented state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelState {
+    /// No channel.
+    Closed,
+    /// Connect request sent, waiting for the response.
+    WaitConnectRsp,
+    /// Connected, exchanging configuration.
+    WaitConfig,
+    /// Configured and usable.
+    Open,
+}
+
+/// L2CAP errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2capError {
+    /// Response never arrived (RTX timer fired).
+    ConnectTimeout,
+    /// The peer refused the PSM.
+    ConnectRefused,
+    /// A start/continuation frame arrived that does not fit the
+    /// reassembly state.
+    UnexpectedFrame,
+    /// Operation requires an open channel.
+    NotOpen,
+}
+
+impl fmt::Display for L2capError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            L2capError::ConnectTimeout => write!(f, "L2CAP connect timed out"),
+            L2capError::ConnectRefused => write!(f, "L2CAP connection refused"),
+            L2capError::UnexpectedFrame => {
+                write!(f, "L2CAP unexpected start/continuation frame")
+            }
+            L2capError::NotOpen => write!(f, "L2CAP channel not open"),
+        }
+    }
+}
+
+impl std::error::Error for L2capError {}
+
+/// One connection-oriented L2CAP channel.
+#[derive(Debug, Clone)]
+pub struct L2capChannel {
+    psm: u16,
+    mtu: u16,
+    state: ChannelState,
+    opened_at: Option<SimTime>,
+    sdus_sent: u64,
+}
+
+impl L2capChannel {
+    /// Creates a closed channel for `psm` with the given MTU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu` is below the L2CAP minimum of 48 bytes.
+    pub fn new(psm: u16, mtu: u16) -> Self {
+        assert!(mtu >= 48, "L2CAP minimum MTU is 48");
+        L2capChannel {
+            psm,
+            mtu,
+            state: ChannelState::Closed,
+            opened_at: None,
+            sdus_sent: 0,
+        }
+    }
+
+    /// A channel pre-configured for BNEP.
+    pub fn for_bnep() -> Self {
+        L2capChannel::new(PSM_BNEP, BNEP_L2CAP_MTU)
+    }
+
+    /// The channel's PSM.
+    pub fn psm(&self) -> u16 {
+        self.psm
+    }
+
+    /// The negotiated MTU.
+    pub fn mtu(&self) -> u16 {
+        self.mtu
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// When the channel reached [`ChannelState::Open`].
+    pub fn opened_at(&self) -> Option<SimTime> {
+        self.opened_at
+    }
+
+    /// SDUs sent since the channel opened.
+    pub fn sdus_sent(&self) -> u64 {
+        self.sdus_sent
+    }
+
+    /// Runs the connect + configure handshake, reaching `Open` at
+    /// `now + latency` unless `refused` or `timed_out`.
+    ///
+    /// # Errors
+    ///
+    /// [`L2capError::ConnectTimeout`] / [`L2capError::ConnectRefused`]
+    /// per the flags; the channel returns to `Closed` on error.
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        latency: SimDuration,
+        refused: bool,
+        timed_out: bool,
+    ) -> Result<SimTime, L2capError> {
+        self.state = ChannelState::WaitConnectRsp;
+        if timed_out {
+            self.state = ChannelState::Closed;
+            return Err(L2capError::ConnectTimeout);
+        }
+        if refused {
+            self.state = ChannelState::Closed;
+            return Err(L2capError::ConnectRefused);
+        }
+        self.state = ChannelState::WaitConfig;
+        let open_at = now + latency;
+        self.state = ChannelState::Open;
+        self.opened_at = Some(open_at);
+        Ok(open_at)
+    }
+
+    /// Sends one upper-layer SDU of `len` bytes; returns the number of
+    /// L2CAP fragments (= baseband PDU groups) produced.
+    ///
+    /// # Errors
+    ///
+    /// [`L2capError::NotOpen`] if the channel is not open.
+    pub fn send_sdu(&mut self, len: u32) -> Result<u32, L2capError> {
+        if self.state != ChannelState::Open {
+            return Err(L2capError::NotOpen);
+        }
+        self.sdus_sent += 1;
+        Ok(len.div_ceil(u32::from(self.mtu)).max(1))
+    }
+
+    /// Closes the channel.
+    pub fn close(&mut self) {
+        self.state = ChannelState::Closed;
+        self.opened_at = None;
+        self.sdus_sent = 0;
+    }
+}
+
+/// Segmentation accounting: how many baseband payloads a transfer of
+/// `bytes` takes with packets of `payload_capacity` bytes.
+pub fn baseband_payloads(bytes: u64, payload_capacity: u32) -> u64 {
+    assert!(payload_capacity > 0, "capacity must be positive");
+    if bytes == 0 {
+        0
+    } else {
+        bytes.div_ceil(u64::from(payload_capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn lifecycle_reaches_open() {
+        let mut ch = L2capChannel::for_bnep();
+        assert_eq!(ch.state(), ChannelState::Closed);
+        let open_at = ch
+            .connect(t0(), SimDuration::from_millis(50), false, false)
+            .unwrap();
+        assert_eq!(ch.state(), ChannelState::Open);
+        assert_eq!(open_at, SimTime::from_millis(50));
+        assert_eq!(ch.opened_at(), Some(open_at));
+        ch.close();
+        assert_eq!(ch.state(), ChannelState::Closed);
+        assert_eq!(ch.opened_at(), None);
+    }
+
+    #[test]
+    fn refused_and_timeout_return_to_closed() {
+        let mut ch = L2capChannel::for_bnep();
+        assert_eq!(
+            ch.connect(t0(), SimDuration::ZERO, true, false),
+            Err(L2capError::ConnectRefused)
+        );
+        assert_eq!(ch.state(), ChannelState::Closed);
+        assert_eq!(
+            ch.connect(t0(), SimDuration::ZERO, false, true),
+            Err(L2capError::ConnectTimeout)
+        );
+        assert_eq!(ch.state(), ChannelState::Closed);
+    }
+
+    #[test]
+    fn send_requires_open() {
+        let mut ch = L2capChannel::for_bnep();
+        assert_eq!(ch.send_sdu(100), Err(L2capError::NotOpen));
+        ch.connect(t0(), SimDuration::ZERO, false, false).unwrap();
+        assert_eq!(ch.send_sdu(100), Ok(1));
+        assert_eq!(ch.sdus_sent(), 1);
+    }
+
+    #[test]
+    fn segmentation_counts() {
+        let mut ch = L2capChannel::for_bnep();
+        ch.connect(t0(), SimDuration::ZERO, false, false).unwrap();
+        // 1691-byte MTU: 1691 bytes -> 1 fragment, 1692 -> 2
+        assert_eq!(ch.send_sdu(1691), Ok(1));
+        assert_eq!(ch.send_sdu(1692), Ok(2));
+        assert_eq!(ch.send_sdu(0), Ok(1)); // empty SDU still a frame
+    }
+
+    #[test]
+    fn bnep_channel_constants() {
+        let ch = L2capChannel::for_bnep();
+        assert_eq!(ch.psm(), PSM_BNEP);
+        assert_eq!(ch.mtu(), BNEP_L2CAP_MTU);
+    }
+
+    #[test]
+    fn baseband_payload_accounting() {
+        // The paper's Fig. 3b experiment: 1691-byte SDUs over DH5 (339 B).
+        assert_eq!(baseband_payloads(1691, 339), 5);
+        assert_eq!(baseband_payloads(1691, 17), 100);
+        assert_eq!(baseband_payloads(0, 339), 0);
+        assert_eq!(baseband_payloads(1, 339), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum MTU")]
+    fn tiny_mtu_rejected() {
+        let _ = L2capChannel::new(PSM_BNEP, 16);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(L2capError::UnexpectedFrame
+            .to_string()
+            .contains("unexpected start/continuation"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # btpan-stack
+//!
+//! The Bluetooth host stack the PAN testbed runs on: the substrate the
+//! paper's masking strategies patch. Every component is a small state
+//! machine with explicit, typed error paths, so the paper's fixes are
+//! *real fixes of real races*, not flags:
+//!
+//! * [`hci`] — Host Controller Interface command layer: connection
+//!   handles, command timeouts, invalid-handle errors;
+//! * [`transport`] — host↔controller transports: plain USB and the
+//!   BCSP reliable serial protocol of the PDAs (sequence numbers,
+//!   acknowledgements, out-of-order detection);
+//! * [`lmp`] — Link Manager procedures: inquiry/scan, paging,
+//!   master/slave role switch;
+//! * [`l2cap`] — connection-oriented channels with configuration
+//!   handshake, MTU and segmentation accounting;
+//! * [`sdp`] — service records and the NAP service search;
+//! * [`bnep`] — the BT Network Encapsulation Protocol interface with the
+//!   Ethernet abstraction (MTU 1691);
+//! * [`hotplug`] — the OS hotplug/HAL daemon that configures the BNEP
+//!   interface *asynchronously* — the source of the bind race: the PAN
+//!   connect API returns before the interval `T_C` (L2CAP connection
+//!   creation) plus `T_H` (BNEP + hotplug configuration) has elapsed;
+//! * [`socket`] — the IP socket whose `bind` fails when issued before
+//!   `T_C`/`T_H` (HCI invalid-handle before `T_C`; missing/unconfigured
+//!   interface between `T_C` and `T_H`);
+//! * [`pan`] — the PAN profile procedure gluing L2CAP → BNEP → role
+//!   switch together;
+//! * [`host`] — a complete PANU/NAP host assembling all of the above
+//!   according to its machine configuration;
+//! * [`enhanced`] — the paper's future-work deliverable: a robust PAN
+//!   stack with every finding (synchronous connect, SDP-first,
+//!   transparent retries, raised timeouts) baked into the API;
+//! * [`wire`] — byte-level packet codecs (HCI, L2CAP signalling, BNEP
+//!   headers) with exhaustive decode-error reporting.
+
+pub mod bnep;
+pub mod enhanced;
+pub mod hci;
+pub mod host;
+pub mod hotplug;
+pub mod l2cap;
+pub mod lmp;
+pub mod pan;
+pub mod sdp;
+pub mod socket;
+pub mod transport;
+pub mod wire;
+
+pub use enhanced::RobustPanStack;
+pub use hci::{HciController, HciError, HciHandle};
+pub use host::{BtHost, HostConfig, StackVariant};
+pub use pan::{PanConnection, PanError, PanProfile};
+pub use socket::{BindError, IpSocket};
+pub use transport::{BcspTransport, Transport, TransportError, TransportKind, UsbTransport};

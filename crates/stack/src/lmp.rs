@@ -1,0 +1,207 @@
+//! Link Manager procedures: inquiry/scan, paging, role switch.
+//!
+//! The Link Manager Protocol is responsible for connection establishment
+//! between BT devices and provides the inquiry/scan procedure. In the
+//! workload every cycle *may* start with an inquiry (the `S` flag) and
+//! ends the connection setup with the PAN profile's master/slave role
+//! switch — "it is important that the NAP remains the master of the
+//! piconet in order to handle up to seven PANUs".
+
+use btpan_sim::prelude::*;
+use btpan_sim::time::SimDuration;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Standard inquiry length: 8×1.28 s trains = 10.24 s worst case; real
+/// applications usually terminate once enough responses arrive.
+pub const MAX_INQUIRY: SimDuration = SimDuration::from_millis(10_240);
+
+/// Result of an inquiry: the set of discovered device addresses and the
+/// time the procedure took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InquiryResult {
+    /// Discovered device identifiers.
+    pub devices: Vec<u64>,
+    /// Wall-clock duration of the procedure.
+    pub duration: SimDuration,
+}
+
+/// Outcome of a role-switch procedure step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleSwitchStep {
+    /// The request reached the master and the switch completed.
+    Completed,
+    /// The request never reached the master (request failed).
+    RequestLost,
+    /// The request was accepted but the command aborted (command
+    /// failed).
+    CommandAborted,
+}
+
+impl fmt::Display for RoleSwitchStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoleSwitchStep::Completed => f.write_str("switch completed"),
+            RoleSwitchStep::RequestLost => f.write_str("switch role request failed"),
+            RoleSwitchStep::CommandAborted => f.write_str("switch role command failed"),
+        }
+    }
+}
+
+/// The Link Manager of one host.
+#[derive(Debug, Clone, Default)]
+pub struct LinkManager {
+    /// Devices in radio range (set by the testbed topology).
+    neighbours: BTreeSet<u64>,
+    /// Cache of recently discovered devices (the workload's `S` flag
+    /// models applications that skip inquiry thanks to this cache).
+    cache: BTreeSet<u64>,
+    inquiries_run: u64,
+}
+
+impl LinkManager {
+    /// Creates a link manager with no known neighbours.
+    pub fn new() -> Self {
+        LinkManager::default()
+    }
+
+    /// Declares a device reachable over the air.
+    pub fn add_neighbour(&mut self, device: u64) {
+        self.neighbours.insert(device);
+    }
+
+    /// Removes a device from radio range.
+    pub fn remove_neighbour(&mut self, device: u64) {
+        self.neighbours.remove(&device);
+        self.cache.remove(&device);
+    }
+
+    /// Number of inquiry procedures run.
+    pub fn inquiries_run(&self) -> u64 {
+        self.inquiries_run
+    }
+
+    /// Devices currently in the discovery cache.
+    pub fn cached(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cache.iter().copied()
+    }
+
+    /// Runs an inquiry/scan. Each in-range device responds with
+    /// probability `p_response` per train; the procedure runs `trains`
+    /// trains of 1.28 s each and caches everything found.
+    pub fn inquiry(&mut self, trains: u32, p_response: f64, rng: &mut SimRng) -> InquiryResult {
+        self.inquiries_run += 1;
+        let trains = trains.clamp(1, 8);
+        let mut found = BTreeSet::new();
+        for _ in 0..trains {
+            for &dev in &self.neighbours {
+                if rng.chance(p_response) {
+                    found.insert(dev);
+                }
+            }
+        }
+        for &dev in &found {
+            self.cache.insert(dev);
+        }
+        InquiryResult {
+            devices: found.into_iter().collect(),
+            duration: SimDuration::from_millis(1_280) * u64::from(trains),
+        }
+    }
+
+    /// True when `device` can be paged without a fresh inquiry (cached).
+    pub fn knows(&self, device: u64) -> bool {
+        self.cache.contains(&device)
+    }
+
+    /// Paging latency for establishing a baseband link to a known
+    /// device: 1–2 page-scan intervals.
+    pub fn paging_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis(rng.uniform_u64(640, 2_560))
+    }
+
+    /// Clears the discovery cache (BT stack reset).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(21)
+    }
+
+    #[test]
+    fn inquiry_discovers_neighbours() {
+        let mut lm = LinkManager::new();
+        lm.add_neighbour(7);
+        lm.add_neighbour(8);
+        let res = lm.inquiry(8, 0.9, &mut rng());
+        assert_eq!(res.devices, vec![7, 8]);
+        assert!(lm.knows(7));
+        assert_eq!(res.duration, SimDuration::from_millis(1_280) * 8);
+        assert_eq!(lm.inquiries_run(), 1);
+    }
+
+    #[test]
+    fn inquiry_duration_bounded_by_spec() {
+        let mut lm = LinkManager::new();
+        let res = lm.inquiry(20, 0.5, &mut rng()); // clamped to 8 trains
+        assert!(res.duration <= MAX_INQUIRY);
+    }
+
+    #[test]
+    fn unresponsive_devices_missed() {
+        let mut lm = LinkManager::new();
+        lm.add_neighbour(5);
+        let res = lm.inquiry(1, 0.0, &mut rng());
+        assert!(res.devices.is_empty());
+        assert!(!lm.knows(5));
+    }
+
+    #[test]
+    fn out_of_range_devices_never_found() {
+        let mut lm = LinkManager::new();
+        lm.add_neighbour(5);
+        lm.remove_neighbour(5);
+        let res = lm.inquiry(8, 1.0, &mut rng());
+        assert!(res.devices.is_empty());
+    }
+
+    #[test]
+    fn cache_survives_between_inquiries_until_reset() {
+        let mut lm = LinkManager::new();
+        lm.add_neighbour(5);
+        lm.inquiry(8, 1.0, &mut rng());
+        assert!(lm.knows(5));
+        assert_eq!(lm.cached().collect::<Vec<_>>(), vec![5]);
+        lm.reset();
+        assert!(!lm.knows(5));
+    }
+
+    #[test]
+    fn paging_latency_in_plausible_range() {
+        let lm = LinkManager::new();
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = lm.paging_latency(&mut r);
+            assert!(d >= SimDuration::from_millis(640));
+            assert!(d <= SimDuration::from_millis(2_560));
+        }
+    }
+
+    #[test]
+    fn role_switch_step_display() {
+        assert_eq!(
+            RoleSwitchStep::RequestLost.to_string(),
+            "switch role request failed"
+        );
+        assert_eq!(
+            RoleSwitchStep::CommandAborted.to_string(),
+            "switch role command failed"
+        );
+    }
+}

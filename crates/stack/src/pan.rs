@@ -1,0 +1,238 @@
+//! The PAN profile connection procedure.
+//!
+//! A PAN User willing to reach a Network Access Point:
+//!
+//! 1. establishes an L2CAP channel on the BNEP PSM (becoming piconet
+//!    master, since it initiated the connection);
+//! 2. lets the BT stack create the BNEP virtual interface and the OS
+//!    hotplug configure it;
+//! 3. performs the master/slave switch so the NAP stays master.
+//!
+//! The *asynchrony* between step 1–2 completion and the API returning is
+//! the bind race ([`crate::hotplug`]). [`PanConnection`] carries the
+//! sampled `T_C`/`T_H` schedule so [`crate::socket::IpSocket::bind`] can
+//! adjudicate a bind attempt mechanically.
+
+use crate::bnep::BnepInterface;
+use crate::hci::{HciController, HciError, HciHandle};
+use crate::hotplug::{HotplugDaemon, SetupTiming};
+use btpan_sim::prelude::*;
+use btpan_sim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// PAN connection errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanError {
+    /// No free HCI handle / controller refused.
+    Hci(HciError),
+    /// A connection is already established.
+    AlreadyConnected,
+    /// No connection to operate on.
+    NotConnected,
+}
+
+impl fmt::Display for PanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PanError::Hci(e) => write!(f, "PAN connect failed: {e}"),
+            PanError::AlreadyConnected => write!(f, "PAN connection already established"),
+            PanError::NotConnected => write!(f, "no PAN connection"),
+        }
+    }
+}
+
+impl std::error::Error for PanError {}
+
+impl From<HciError> for PanError {
+    fn from(e: HciError) -> Self {
+        PanError::Hci(e)
+    }
+}
+
+/// A live PAN connection with its setup schedule.
+#[derive(Debug, Clone)]
+pub struct PanConnection {
+    /// The HCI handle of the underlying ACL link.
+    pub handle: HciHandle,
+    /// The sampled `T_C`/`T_H` schedule.
+    pub timing: SetupTiming,
+    /// The BNEP interface carried by the connection.
+    pub interface: BnepInterface,
+    /// When the connect API call was made.
+    pub initiated_at: SimTime,
+}
+
+impl PanConnection {
+    /// True once the interface is fully up at `now` (the masked bind
+    /// waits for this).
+    pub fn ready(&self, now: SimTime) -> bool {
+        now >= self.timing.iface_up_at
+    }
+
+    /// The instant a masked bind should wait for.
+    pub fn ready_at(&self) -> SimTime {
+        self.timing.iface_up_at
+    }
+}
+
+/// The PAN profile engine of one PANU host.
+#[derive(Debug, Clone)]
+pub struct PanProfile {
+    hotplug: HotplugDaemon,
+    connection: Option<PanConnection>,
+    connects_attempted: u64,
+}
+
+impl PanProfile {
+    /// Creates a PAN profile over the given hotplug timing model.
+    pub fn new(hotplug: HotplugDaemon) -> Self {
+        PanProfile {
+            hotplug,
+            connection: None,
+            connects_attempted: 0,
+        }
+    }
+
+    /// The current connection, if any.
+    pub fn connection(&self) -> Option<&PanConnection> {
+        self.connection.as_ref()
+    }
+
+    /// Connect attempts so far.
+    pub fn connects_attempted(&self) -> u64 {
+        self.connects_attempted
+    }
+
+    /// Initiates a PAN connection at `now`. The call returns as soon as
+    /// the L2CAP request is accepted — *before* `T_C`/`T_H` elapse,
+    /// exactly like the real API.
+    ///
+    /// # Errors
+    ///
+    /// [`PanError::AlreadyConnected`] when a connection exists, or an
+    /// [`HciError`] from the controller.
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        hci: &mut HciController,
+        rng: &mut SimRng,
+    ) -> Result<&PanConnection, PanError> {
+        self.connects_attempted += 1;
+        if self.connection.is_some() {
+            return Err(PanError::AlreadyConnected);
+        }
+        let timing = self.hotplug.sample(now, rng);
+        let handle = hci.create_connection(now, timing.l2cap_usable_at.since(now))?;
+        let mut interface = BnepInterface::new();
+        interface
+            .schedule_bring_up(timing.iface_created_at, timing.iface_up_at)
+            .expect("fresh interface accepts schedule");
+        self.connection = Some(PanConnection {
+            handle,
+            timing,
+            interface,
+            initiated_at: now,
+        });
+        Ok(self.connection.as_ref().expect("just set"))
+    }
+
+    /// Disconnects, releasing the handle and tearing the interface down.
+    ///
+    /// # Errors
+    ///
+    /// [`PanError::NotConnected`] when there is nothing to disconnect.
+    pub fn disconnect(&mut self, hci: &mut HciController) -> Result<(), PanError> {
+        let conn = self.connection.take().ok_or(PanError::NotConnected)?;
+        // The handle may already be gone after a stack reset; both fine.
+        let _ = hci.disconnect(conn.handle);
+        Ok(())
+    }
+
+    /// Duration of the synchronous part of the connect API (what the
+    /// caller observes before getting control back).
+    pub fn api_latency(rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis(rng.uniform_u64(15, 40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotplug::HotplugDaemon;
+
+    #[test]
+    fn connect_then_disconnect() {
+        let mut pan = PanProfile::new(HotplugDaemon::healthy());
+        let mut hci = HciController::default();
+        let mut r = SimRng::seed_from(1);
+        let now = SimTime::from_secs(5);
+        let conn = pan.connect(now, &mut hci, &mut r).unwrap();
+        assert_eq!(conn.initiated_at, now);
+        assert!(!conn.ready(now));
+        let ready_at = conn.ready_at();
+        assert!(conn.ready(ready_at));
+        assert_eq!(hci.handle_count(), 1);
+        pan.disconnect(&mut hci).unwrap();
+        assert_eq!(hci.handle_count(), 0);
+        assert!(pan.connection().is_none());
+        assert_eq!(pan.disconnect(&mut hci), Err(PanError::NotConnected));
+    }
+
+    #[test]
+    fn double_connect_rejected() {
+        let mut pan = PanProfile::new(HotplugDaemon::healthy());
+        let mut hci = HciController::default();
+        let mut r = SimRng::seed_from(2);
+        pan.connect(SimTime::ZERO, &mut hci, &mut r).unwrap();
+        assert_eq!(
+            pan.connect(SimTime::from_secs(1), &mut hci, &mut r)
+                .unwrap_err(),
+            PanError::AlreadyConnected
+        );
+        assert_eq!(pan.connects_attempted(), 2);
+    }
+
+    #[test]
+    fn handle_becomes_usable_at_tc() {
+        let mut pan = PanProfile::new(HotplugDaemon::healthy());
+        let mut hci = HciController::default();
+        let mut r = SimRng::seed_from(3);
+        let now = SimTime::ZERO;
+        let (handle, tc) = {
+            let conn = pan.connect(now, &mut hci, &mut r).unwrap();
+            (conn.handle, conn.timing.l2cap_usable_at)
+        };
+        assert!(!hci.is_usable(handle, now));
+        assert!(hci.is_usable(handle, tc));
+    }
+
+    #[test]
+    fn exhausted_controller_propagates_hci_error() {
+        let mut pan = PanProfile::new(HotplugDaemon::healthy());
+        let mut hci = HciController::default();
+        let mut r = SimRng::seed_from(4);
+        for _ in 0..HciController::MAX_HANDLES {
+            hci.create_connection(SimTime::ZERO, SimDuration::ZERO)
+                .unwrap();
+        }
+        match pan.connect(SimTime::ZERO, &mut hci, &mut r) {
+            Err(PanError::Hci(HciError::NoFreeHandles)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn api_latency_is_short() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..100 {
+            let d = PanProfile::api_latency(&mut r);
+            assert!(d < SimDuration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PanError::Hci(HciError::CommandTimeout);
+        assert!(e.to_string().contains("HCI command timeout"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Service Discovery Protocol: records and the NAP search.
+//!
+//! Each `BlueTest` cycle *may* run an SDP search for the Network Access
+//! Point service (the `SDP` flag). Two distinct failures live here
+//! (paper Table 1): the search transaction aborting ("SDP search
+//! failed") and the search completing but not returning the NAP even
+//! though it is present ("NAP not found") — the latter is the single
+//! most masked failure in the study (retrying up to 2 times heals it).
+
+use btpan_sim::time::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Service class UUID of the Network Access Point service.
+pub const UUID_NAP: u16 = 0x1116;
+/// Service class UUID of the PAN User role.
+pub const UUID_PANU: u16 = 0x1115;
+/// Service class UUID of Group Ad-hoc Network.
+pub const UUID_GN: u16 = 0x1117;
+
+/// One SDP service record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRecord {
+    /// Service class UUID.
+    pub uuid: u16,
+    /// Human-readable service name.
+    pub name: String,
+    /// The device offering the service.
+    pub provider: u64,
+}
+
+/// SDP failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdpError {
+    /// Connection with the SDP server refused or timed out.
+    ConnectionRefused,
+    /// The server answered but the requested service was absent from
+    /// the response (even though the provider implements it).
+    ServiceNotReturned,
+}
+
+impl fmt::Display for SdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdpError::ConnectionRefused => {
+                write!(f, "SDP connection refused or timed out")
+            }
+            SdpError::ServiceNotReturned => write!(f, "SDP required service unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for SdpError {}
+
+/// The SDP database of one host (server side).
+#[derive(Debug, Clone, Default)]
+pub struct SdpDatabase {
+    records: BTreeMap<u16, ServiceRecord>,
+}
+
+impl SdpDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        SdpDatabase::default()
+    }
+
+    /// A database advertising the NAP service, as the testbed's `Giallo`
+    /// does.
+    pub fn nap_server(provider: u64) -> Self {
+        let mut db = SdpDatabase::new();
+        db.register(ServiceRecord {
+            uuid: UUID_NAP,
+            name: "Network Access Point".to_string(),
+            provider,
+        });
+        db
+    }
+
+    /// Registers (or replaces) a service record.
+    pub fn register(&mut self, record: ServiceRecord) {
+        self.records.insert(record.uuid, record);
+    }
+
+    /// Removes a service.
+    pub fn unregister(&mut self, uuid: u16) -> Option<ServiceRecord> {
+        self.records.remove(&uuid)
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks a service up (server-side, infallible).
+    pub fn lookup(&self, uuid: u16) -> Option<&ServiceRecord> {
+        self.records.get(&uuid)
+    }
+
+    /// Performs a client search transaction against this database.
+    ///
+    /// `refused` models the transport-level abort; `dropped_from_reply`
+    /// models the paper's NAP-not-found anomaly (server implements the
+    /// service but the reply misses it).
+    ///
+    /// # Errors
+    ///
+    /// [`SdpError::ConnectionRefused`] or
+    /// [`SdpError::ServiceNotReturned`] per the flags, and
+    /// `ServiceNotReturned` when the service genuinely is not there.
+    pub fn search(
+        &self,
+        uuid: u16,
+        refused: bool,
+        dropped_from_reply: bool,
+    ) -> Result<&ServiceRecord, SdpError> {
+        if refused {
+            return Err(SdpError::ConnectionRefused);
+        }
+        let record = self.records.get(&uuid).ok_or(SdpError::ServiceNotReturned)?;
+        if dropped_from_reply {
+            return Err(SdpError::ServiceNotReturned);
+        }
+        Ok(record)
+    }
+
+    /// Typical duration of one search transaction.
+    pub fn search_latency() -> SimDuration {
+        SimDuration::from_millis(700)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nap_server_advertises_nap() {
+        let db = SdpDatabase::nap_server(100);
+        assert_eq!(db.len(), 1);
+        let rec = db.search(UUID_NAP, false, false).unwrap();
+        assert_eq!(rec.provider, 100);
+        assert_eq!(rec.uuid, UUID_NAP);
+    }
+
+    #[test]
+    fn missing_service_not_returned() {
+        let db = SdpDatabase::nap_server(100);
+        assert_eq!(
+            db.search(UUID_GN, false, false),
+            Err(SdpError::ServiceNotReturned)
+        );
+    }
+
+    #[test]
+    fn refused_transaction() {
+        let db = SdpDatabase::nap_server(100);
+        assert_eq!(
+            db.search(UUID_NAP, true, false),
+            Err(SdpError::ConnectionRefused)
+        );
+    }
+
+    #[test]
+    fn nap_not_found_anomaly() {
+        // Service present, reply drops it: the paper's NAP-not-found.
+        let db = SdpDatabase::nap_server(100);
+        assert_eq!(
+            db.search(UUID_NAP, false, true),
+            Err(SdpError::ServiceNotReturned)
+        );
+        // The record *is* there: a retry (masking) can succeed.
+        assert!(db.search(UUID_NAP, false, false).is_ok());
+    }
+
+    #[test]
+    fn register_unregister() {
+        let mut db = SdpDatabase::new();
+        assert!(db.is_empty());
+        db.register(ServiceRecord {
+            uuid: UUID_PANU,
+            name: "PANU".into(),
+            provider: 3,
+        });
+        assert_eq!(db.lookup(UUID_PANU).unwrap().provider, 3);
+        assert!(db.unregister(UUID_PANU).is_some());
+        assert!(db.unregister(UUID_PANU).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn latency_positive() {
+        assert!(SdpDatabase::search_latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SdpError::ConnectionRefused.to_string().contains("refused"));
+    }
+}

@@ -1,0 +1,660 @@
+//! Wire formats: byte-level codecs for the packets the host stack puts
+//! on its transports.
+//!
+//! The simulation layers above operate on typed state machines, but a
+//! stack release is only credible with the actual encodings, so this
+//! module implements (per Bluetooth 1.1, Volume 2/3):
+//!
+//! * [`hci`] — UART/USB HCI packets: command (indicator `0x01`, 10-bit
+//!   OCF + 6-bit OGF opcode), ACL data (`0x02`, 12-bit handle + PB/BC
+//!   flags) and event (`0x04`) packets;
+//! * [`l2cap`] — the basic L2CAP header and the signalling commands the
+//!   PAN procedure uses (connection request/response, disconnection
+//!   request);
+//! * [`bnep`] — BNEP headers: general and compressed Ethernet, with the
+//!   extension-flag plumbing.
+//!
+//! Every codec is a pure `encode`/`decode` pair with exhaustive error
+//! reporting; property tests round-trip arbitrary packets.
+
+use std::fmt;
+
+/// Decode errors shared by all codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the fixed header completed.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The length field disagrees with the available payload.
+    LengthMismatch {
+        /// Declared payload length.
+        declared: usize,
+        /// Actual remaining bytes.
+        actual: usize,
+    },
+    /// Unknown packet indicator / type code.
+    UnknownType(u8),
+    /// A field value outside its legal range.
+    IllegalField(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated packet: need {needed} bytes, got {got}")
+            }
+            WireError::LengthMismatch { declared, actual } => {
+                write!(f, "length field {declared} but {actual} bytes present")
+            }
+            WireError::UnknownType(t) => write!(f, "unknown packet type 0x{t:02x}"),
+            WireError::IllegalField(name) => write!(f, "illegal value in field {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// HCI packet codecs.
+pub mod hci {
+    use super::WireError;
+
+    /// UART packet indicator for commands.
+    pub const IND_COMMAND: u8 = 0x01;
+    /// UART packet indicator for ACL data.
+    pub const IND_ACL: u8 = 0x02;
+    /// UART packet indicator for events.
+    pub const IND_EVENT: u8 = 0x04;
+
+    /// Opcode group: link control (inquiry, connect...).
+    pub const OGF_LINK_CONTROL: u8 = 0x01;
+    /// Opcode group: link policy (role switch...).
+    pub const OGF_LINK_POLICY: u8 = 0x02;
+    /// OCF of `Switch_Role` within link policy.
+    pub const OCF_SWITCH_ROLE: u16 = 0x000B;
+    /// OCF of `Inquiry` within link control.
+    pub const OCF_INQUIRY: u16 = 0x0001;
+    /// OCF of `Create_Connection` within link control.
+    pub const OCF_CREATE_CONNECTION: u16 = 0x0005;
+
+    /// A decoded HCI packet.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Packet {
+        /// Host → controller command.
+        Command {
+            /// Opcode group field (6 bits).
+            ogf: u8,
+            /// Opcode command field (10 bits).
+            ocf: u16,
+            /// Command parameters.
+            params: Vec<u8>,
+        },
+        /// ACL data in either direction.
+        AclData {
+            /// 12-bit connection handle.
+            handle: u16,
+            /// Packet-boundary flag (2 bits).
+            pb: u8,
+            /// Broadcast flag (2 bits).
+            bc: u8,
+            /// Payload.
+            data: Vec<u8>,
+        },
+        /// Controller → host event.
+        Event {
+            /// Event code.
+            code: u8,
+            /// Event parameters.
+            params: Vec<u8>,
+        },
+    }
+
+    impl Packet {
+        /// Builds the `Switch_Role` command for `bd_addr` and `role`.
+        pub fn switch_role(bd_addr: [u8; 6], role: u8) -> Packet {
+            let mut params = bd_addr.to_vec();
+            params.push(role);
+            Packet::Command {
+                ogf: OGF_LINK_POLICY,
+                ocf: OCF_SWITCH_ROLE,
+                params,
+            }
+        }
+
+        /// Encodes the packet with its UART indicator byte.
+        ///
+        /// # Panics
+        ///
+        /// Panics if a field exceeds its wire width (opcode bits, 12-bit
+        /// handle, 255-byte command parameters, 65535-byte ACL payload).
+        pub fn encode(&self) -> Vec<u8> {
+            match self {
+                Packet::Command { ogf, ocf, params } => {
+                    assert!(*ogf < 64, "OGF is 6 bits");
+                    assert!(*ocf < 1024, "OCF is 10 bits");
+                    assert!(params.len() <= 255, "command params cap");
+                    let opcode = (u16::from(*ogf) << 10) | ocf;
+                    let mut out = vec![IND_COMMAND];
+                    out.extend_from_slice(&opcode.to_le_bytes());
+                    out.push(params.len() as u8);
+                    out.extend_from_slice(params);
+                    out
+                }
+                Packet::AclData { handle, pb, bc, data } => {
+                    assert!(*handle < 0x1000, "handle is 12 bits");
+                    assert!(*pb < 4 && *bc < 4, "flags are 2 bits");
+                    assert!(data.len() <= 0xFFFF, "ACL payload cap");
+                    let word = handle | (u16::from(*pb) << 12) | (u16::from(*bc) << 14);
+                    let mut out = vec![IND_ACL];
+                    out.extend_from_slice(&word.to_le_bytes());
+                    out.extend_from_slice(&(data.len() as u16).to_le_bytes());
+                    out.extend_from_slice(data);
+                    out
+                }
+                Packet::Event { code, params } => {
+                    assert!(params.len() <= 255, "event params cap");
+                    let mut out = vec![IND_EVENT, *code, params.len() as u8];
+                    out.extend_from_slice(params);
+                    out
+                }
+            }
+        }
+
+        /// Decodes one packet from `bytes`.
+        ///
+        /// # Errors
+        ///
+        /// [`WireError`] for truncation, bad lengths or unknown
+        /// indicators.
+        pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+            let ind = *bytes.first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+            match ind {
+                IND_COMMAND => {
+                    if bytes.len() < 4 {
+                        return Err(WireError::Truncated { needed: 4, got: bytes.len() });
+                    }
+                    let opcode = u16::from_le_bytes([bytes[1], bytes[2]]);
+                    let plen = bytes[3] as usize;
+                    let params = &bytes[4..];
+                    if params.len() != plen {
+                        return Err(WireError::LengthMismatch {
+                            declared: plen,
+                            actual: params.len(),
+                        });
+                    }
+                    Ok(Packet::Command {
+                        ogf: (opcode >> 10) as u8,
+                        ocf: opcode & 0x03FF,
+                        params: params.to_vec(),
+                    })
+                }
+                IND_ACL => {
+                    if bytes.len() < 5 {
+                        return Err(WireError::Truncated { needed: 5, got: bytes.len() });
+                    }
+                    let word = u16::from_le_bytes([bytes[1], bytes[2]]);
+                    let dlen = u16::from_le_bytes([bytes[3], bytes[4]]) as usize;
+                    let data = &bytes[5..];
+                    if data.len() != dlen {
+                        return Err(WireError::LengthMismatch {
+                            declared: dlen,
+                            actual: data.len(),
+                        });
+                    }
+                    Ok(Packet::AclData {
+                        handle: word & 0x0FFF,
+                        pb: ((word >> 12) & 0b11) as u8,
+                        bc: ((word >> 14) & 0b11) as u8,
+                        data: data.to_vec(),
+                    })
+                }
+                IND_EVENT => {
+                    if bytes.len() < 3 {
+                        return Err(WireError::Truncated { needed: 3, got: bytes.len() });
+                    }
+                    let plen = bytes[2] as usize;
+                    let params = &bytes[3..];
+                    if params.len() != plen {
+                        return Err(WireError::LengthMismatch {
+                            declared: plen,
+                            actual: params.len(),
+                        });
+                    }
+                    Ok(Packet::Event {
+                        code: bytes[1],
+                        params: params.to_vec(),
+                    })
+                }
+                other => Err(WireError::UnknownType(other)),
+            }
+        }
+    }
+}
+
+/// L2CAP codecs: the basic header and PAN-relevant signalling.
+pub mod l2cap {
+    use super::WireError;
+
+    /// CID of the signalling channel.
+    pub const CID_SIGNALLING: u16 = 0x0001;
+
+    /// A basic L2CAP frame: length-prefixed payload on a channel.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Frame {
+        /// Destination channel id.
+        pub cid: u16,
+        /// Payload bytes.
+        pub payload: Vec<u8>,
+    }
+
+    impl Frame {
+        /// Encodes `[len (2) | cid (2) | payload]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the payload exceeds 65535 bytes.
+        pub fn encode(&self) -> Vec<u8> {
+            assert!(self.payload.len() <= 0xFFFF, "L2CAP length cap");
+            let mut out = Vec::with_capacity(4 + self.payload.len());
+            out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+            out.extend_from_slice(&self.cid.to_le_bytes());
+            out.extend_from_slice(&self.payload);
+            out
+        }
+
+        /// Decodes one frame.
+        ///
+        /// # Errors
+        ///
+        /// [`WireError`] on truncation or length mismatch.
+        pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+            if bytes.len() < 4 {
+                return Err(WireError::Truncated { needed: 4, got: bytes.len() });
+            }
+            let len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+            let cid = u16::from_le_bytes([bytes[2], bytes[3]]);
+            let payload = &bytes[4..];
+            if payload.len() != len {
+                return Err(WireError::LengthMismatch {
+                    declared: len,
+                    actual: payload.len(),
+                });
+            }
+            Ok(Frame {
+                cid,
+                payload: payload.to_vec(),
+            })
+        }
+    }
+
+    /// Signalling commands used by the PAN connection procedure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Signal {
+        /// Connection request: PSM + source CID.
+        ConnectionRequest {
+            /// Protocol/service multiplexer (0x000F for BNEP).
+            psm: u16,
+            /// Source channel id.
+            scid: u16,
+        },
+        /// Connection response.
+        ConnectionResponse {
+            /// Destination channel id.
+            dcid: u16,
+            /// Source channel id.
+            scid: u16,
+            /// 0 = success, 2 = PSM refused, 4 = no resources.
+            result: u16,
+        },
+        /// Disconnection request.
+        DisconnectionRequest {
+            /// Destination channel id.
+            dcid: u16,
+            /// Source channel id.
+            scid: u16,
+        },
+    }
+
+    impl Signal {
+        const CODE_CONN_REQ: u8 = 0x02;
+        const CODE_CONN_RSP: u8 = 0x03;
+        const CODE_DISC_REQ: u8 = 0x06;
+
+        /// Encodes `[code | id | len (2) | data]`.
+        pub fn encode(&self, id: u8) -> Vec<u8> {
+            let (code, data): (u8, Vec<u8>) = match *self {
+                Signal::ConnectionRequest { psm, scid } => {
+                    let mut d = psm.to_le_bytes().to_vec();
+                    d.extend_from_slice(&scid.to_le_bytes());
+                    (Self::CODE_CONN_REQ, d)
+                }
+                Signal::ConnectionResponse { dcid, scid, result } => {
+                    let mut d = dcid.to_le_bytes().to_vec();
+                    d.extend_from_slice(&scid.to_le_bytes());
+                    d.extend_from_slice(&result.to_le_bytes());
+                    d.extend_from_slice(&0u16.to_le_bytes()); // status
+                    (Self::CODE_CONN_RSP, d)
+                }
+                Signal::DisconnectionRequest { dcid, scid } => {
+                    let mut d = dcid.to_le_bytes().to_vec();
+                    d.extend_from_slice(&scid.to_le_bytes());
+                    (Self::CODE_DISC_REQ, d)
+                }
+            };
+            let mut out = vec![code, id];
+            out.extend_from_slice(&(data.len() as u16).to_le_bytes());
+            out.extend_from_slice(&data);
+            out
+        }
+
+        /// Decodes a signalling command, returning it with its id.
+        ///
+        /// # Errors
+        ///
+        /// [`WireError`] on truncation, bad length, or unknown code.
+        pub fn decode(bytes: &[u8]) -> Result<(Signal, u8), WireError> {
+            if bytes.len() < 4 {
+                return Err(WireError::Truncated { needed: 4, got: bytes.len() });
+            }
+            let code = bytes[0];
+            let id = bytes[1];
+            let len = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+            let data = &bytes[4..];
+            if data.len() != len {
+                return Err(WireError::LengthMismatch {
+                    declared: len,
+                    actual: data.len(),
+                });
+            }
+            let u16_at = |i: usize| u16::from_le_bytes([data[i], data[i + 1]]);
+            match code {
+                Self::CODE_CONN_REQ => {
+                    if data.len() != 4 {
+                        return Err(WireError::IllegalField("connection request body"));
+                    }
+                    Ok((
+                        Signal::ConnectionRequest {
+                            psm: u16_at(0),
+                            scid: u16_at(2),
+                        },
+                        id,
+                    ))
+                }
+                Self::CODE_CONN_RSP => {
+                    if data.len() != 8 {
+                        return Err(WireError::IllegalField("connection response body"));
+                    }
+                    Ok((
+                        Signal::ConnectionResponse {
+                            dcid: u16_at(0),
+                            scid: u16_at(2),
+                            result: u16_at(4),
+                        },
+                        id,
+                    ))
+                }
+                Self::CODE_DISC_REQ => {
+                    if data.len() != 4 {
+                        return Err(WireError::IllegalField("disconnection request body"));
+                    }
+                    Ok((
+                        Signal::DisconnectionRequest {
+                            dcid: u16_at(0),
+                            scid: u16_at(2),
+                        },
+                        id,
+                    ))
+                }
+                other => Err(WireError::UnknownType(other)),
+            }
+        }
+    }
+}
+
+/// BNEP header codecs.
+pub mod bnep {
+    use super::WireError;
+
+    /// BNEP packet types (Bluetooth PAN profile, BNEP spec §2.4).
+    pub const TYPE_GENERAL_ETHERNET: u8 = 0x00;
+    /// Compressed Ethernet: both MAC addresses elided.
+    pub const TYPE_COMPRESSED_ETHERNET: u8 = 0x02;
+
+    /// A decoded BNEP packet (headers + the network payload).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Packet {
+        /// Full Ethernet addressing.
+        GeneralEthernet {
+            /// Destination MAC.
+            dst: [u8; 6],
+            /// Source MAC.
+            src: [u8; 6],
+            /// EtherType (e.g. 0x0800 IPv4).
+            proto: u16,
+            /// Network payload.
+            payload: Vec<u8>,
+        },
+        /// Both addresses implied by the connection.
+        CompressedEthernet {
+            /// EtherType.
+            proto: u16,
+            /// Network payload.
+            payload: Vec<u8>,
+        },
+    }
+
+    impl Packet {
+        /// Encodes the packet (extension bit always 0 — the PAN profile
+        /// needs no extension headers on the data path).
+        pub fn encode(&self) -> Vec<u8> {
+            match self {
+                Packet::GeneralEthernet { dst, src, proto, payload } => {
+                    let mut out = vec![TYPE_GENERAL_ETHERNET];
+                    out.extend_from_slice(dst);
+                    out.extend_from_slice(src);
+                    out.extend_from_slice(&proto.to_be_bytes());
+                    out.extend_from_slice(payload);
+                    out
+                }
+                Packet::CompressedEthernet { proto, payload } => {
+                    let mut out = vec![TYPE_COMPRESSED_ETHERNET];
+                    out.extend_from_slice(&proto.to_be_bytes());
+                    out.extend_from_slice(payload);
+                    out
+                }
+            }
+        }
+
+        /// Decodes one packet.
+        ///
+        /// # Errors
+        ///
+        /// [`WireError`] for truncation, unknown types, or a set
+        /// extension bit (unsupported on the data path).
+        pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+            let head = *bytes.first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+            if head & 0x80 != 0 {
+                return Err(WireError::IllegalField("extension bit"));
+            }
+            match head & 0x7F {
+                TYPE_GENERAL_ETHERNET => {
+                    if bytes.len() < 15 {
+                        return Err(WireError::Truncated { needed: 15, got: bytes.len() });
+                    }
+                    let mut dst = [0u8; 6];
+                    let mut src = [0u8; 6];
+                    dst.copy_from_slice(&bytes[1..7]);
+                    src.copy_from_slice(&bytes[7..13]);
+                    Ok(Packet::GeneralEthernet {
+                        dst,
+                        src,
+                        proto: u16::from_be_bytes([bytes[13], bytes[14]]),
+                        payload: bytes[15..].to_vec(),
+                    })
+                }
+                TYPE_COMPRESSED_ETHERNET => {
+                    if bytes.len() < 3 {
+                        return Err(WireError::Truncated { needed: 3, got: bytes.len() });
+                    }
+                    Ok(Packet::CompressedEthernet {
+                        proto: u16::from_be_bytes([bytes[1], bytes[2]]),
+                        payload: bytes[3..].to_vec(),
+                    })
+                }
+                other => Err(WireError::UnknownType(other)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hci_command_round_trip() {
+        let pkt = hci::Packet::switch_role([1, 2, 3, 4, 5, 6], 0x01);
+        let bytes = pkt.encode();
+        assert_eq!(bytes[0], hci::IND_COMMAND);
+        // opcode: OGF 0x02 << 10 | OCF 0x0B = 0x080B, little endian.
+        assert_eq!(&bytes[1..3], &[0x0B, 0x08]);
+        assert_eq!(bytes[3], 7); // 6-byte addr + role
+        assert_eq!(hci::Packet::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn hci_acl_round_trip_with_flags() {
+        let pkt = hci::Packet::AclData {
+            handle: 0x0ABC,
+            pb: 0b10,
+            bc: 0b01,
+            data: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        };
+        let bytes = pkt.encode();
+        assert_eq!(hci::Packet::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn hci_event_round_trip() {
+        let pkt = hci::Packet::Event {
+            code: 0x0E, // Command Complete
+            params: vec![1, 0x0B, 0x08, 0x00],
+        };
+        assert_eq!(hci::Packet::decode(&pkt.encode()).unwrap(), pkt);
+    }
+
+    #[test]
+    fn hci_decode_errors() {
+        assert!(matches!(
+            hci::Packet::decode(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            hci::Packet::decode(&[0x07]),
+            Err(WireError::UnknownType(0x07))
+        ));
+        // declared 5 params, provide 2
+        assert!(matches!(
+            hci::Packet::decode(&[0x01, 0x01, 0x04, 5, 1, 2]),
+            Err(WireError::LengthMismatch { declared: 5, actual: 2 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "handle is 12 bits")]
+    fn hci_rejects_wide_handle() {
+        let _ = hci::Packet::AclData {
+            handle: 0x1000,
+            pb: 0,
+            bc: 0,
+            data: vec![],
+        }
+        .encode();
+    }
+
+    #[test]
+    fn l2cap_frame_round_trip() {
+        let f = l2cap::Frame {
+            cid: 0x0040,
+            payload: b"bnep payload".to_vec(),
+        };
+        assert_eq!(l2cap::Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn l2cap_signals_round_trip() {
+        let signals = [
+            l2cap::Signal::ConnectionRequest { psm: 0x000F, scid: 0x0040 },
+            l2cap::Signal::ConnectionResponse { dcid: 0x0041, scid: 0x0040, result: 0 },
+            l2cap::Signal::DisconnectionRequest { dcid: 0x0041, scid: 0x0040 },
+        ];
+        for (i, s) in signals.iter().enumerate() {
+            let bytes = s.encode(i as u8 + 1);
+            let (back, id) = l2cap::Signal::decode(&bytes).unwrap();
+            assert_eq!(back, *s);
+            assert_eq!(id, i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn l2cap_signal_errors() {
+        assert!(matches!(
+            l2cap::Signal::decode(&[0x02, 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        // conn req with wrong body size
+        let bad = [0x02, 1, 2, 0, 0xAA, 0xBB];
+        assert!(matches!(
+            l2cap::Signal::decode(&bad),
+            Err(WireError::IllegalField("connection request body"))
+        ));
+        assert!(matches!(
+            l2cap::Signal::decode(&[0x7F, 1, 0, 0]),
+            Err(WireError::UnknownType(0x7F))
+        ));
+    }
+
+    #[test]
+    fn bnep_round_trips() {
+        let general = bnep::Packet::GeneralEthernet {
+            dst: [0xFF; 6],
+            src: [1, 2, 3, 4, 5, 6],
+            proto: 0x0800,
+            payload: vec![0x45, 0x00],
+        };
+        assert_eq!(bnep::Packet::decode(&general.encode()).unwrap(), general);
+        let compressed = bnep::Packet::CompressedEthernet {
+            proto: 0x0806,
+            payload: vec![0; 28],
+        };
+        assert_eq!(bnep::Packet::decode(&compressed.encode()).unwrap(), compressed);
+    }
+
+    #[test]
+    fn bnep_rejects_extension_bit_and_unknown_types() {
+        assert!(matches!(
+            bnep::Packet::decode(&[0x80, 0, 0]),
+            Err(WireError::IllegalField("extension bit"))
+        ));
+        assert!(matches!(
+            bnep::Packet::decode(&[0x05, 0, 0]),
+            Err(WireError::UnknownType(0x05))
+        ));
+        assert!(matches!(
+            bnep::Packet::decode(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated { needed: 4, got: 1 }
+            .to_string()
+            .contains("need 4"));
+        assert!(WireError::UnknownType(9).to_string().contains("0x09"));
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end walk of the PAN profile across the stack components: the
+//! exact `BlueTest` phase sequence — inquiry, SDP search, PAN connect,
+//! bind, role switch, data transfer — on real component state machines.
+
+use btpan_faults::HostQuirks;
+use btpan_sim::prelude::*;
+use btpan_sim::time::{SimDuration, SimTime};
+use btpan_stack::host::{BtHost, HostConfig, StackVariant};
+use btpan_stack::l2cap::{baseband_payloads, L2capChannel};
+use btpan_stack::sdp::{SdpDatabase, UUID_NAP};
+use btpan_stack::transport::TransportKind;
+
+fn panu() -> BtHost {
+    BtHost::new(HostConfig {
+        name: "Verde".into(),
+        node_id: 1,
+        stack: StackVariant::BlueZ,
+        transport: TransportKind::Usb,
+        quirks: HostQuirks::linux_pc(),
+        distance_m: 0.5,
+    })
+}
+
+#[test]
+fn full_bluetest_cycle_on_the_real_stack() {
+    let mut rng = SimRng::seed_from(0xE2E);
+    let mut host = panu();
+    let nap_id = 100u64;
+    host.link_manager.add_neighbour(nap_id);
+    let nap_db = SdpDatabase::nap_server(nap_id);
+
+    // Phase 1: inquiry finds the NAP.
+    let inquiry = host.link_manager.inquiry(4, 0.9, &mut rng);
+    assert!(inquiry.devices.contains(&nap_id));
+
+    // Phase 2: SDP search resolves the NAP service.
+    let record = nap_db.search(UUID_NAP, false, false).expect("NAP advertised");
+    assert_eq!(record.provider, nap_id);
+
+    // Phase 3: PAN connect (async API returning before T_C/T_H).
+    let now = SimTime::from_secs(10);
+    let conn = host.pan_connect(now, &mut rng).expect("connect");
+    assert!(!conn.ready(now), "API must return before the interface is up");
+
+    // Phase 4: bind — masked wait makes it race-free.
+    let bound_at = host.socket.bind_masked(&conn, now);
+    assert!(bound_at >= now);
+
+    // Phase 5: the L2CAP channel segments the transfer.
+    let mut channel = L2capChannel::for_bnep();
+    channel
+        .connect(now, SimDuration::from_millis(40), false, false)
+        .expect("l2cap");
+    let fragments = channel.send_sdu(5_000).expect("send over open channel");
+    assert_eq!(fragments, 3); // 5000 / 1691 -> 3 fragments
+    assert_eq!(baseband_payloads(5_000, 339), 15); // DH5 payloads
+
+    // Phase 6: traffic accounting through the bound socket.
+    host.socket.record_sent(5_000);
+    host.socket.record_received(12_000);
+    assert_eq!(host.socket.bytes_sent(), 5_000);
+    assert_eq!(host.socket.bytes_received(), 12_000);
+
+    // Disconnect tears everything down for the next cycle.
+    host.reset_connection();
+    assert!(host.pan.connection().is_none());
+}
+
+#[test]
+fn pda_cycle_over_bcsp_transport() {
+    let mut rng = SimRng::seed_from(0xBC5);
+    let mut host = BtHost::new(HostConfig {
+        name: "Ipaq".into(),
+        node_id: 5,
+        stack: StackVariant::BlueZ,
+        transport: TransportKind::Bcsp,
+        quirks: HostQuirks::pda(),
+        distance_m: 5.0,
+    });
+    // The BCSP transport carries the HCI command stream.
+    for _ in 0..200 {
+        host.transport_send(b"hci-cmd", &mut rng).expect("bcsp delivers");
+    }
+    let conn = host.pan_connect(SimTime::from_secs(1), &mut rng).expect("connect");
+    host.socket.bind_masked(&conn, SimTime::from_secs(1));
+    host.reboot();
+    assert_eq!(host.reboots(), 1);
+    assert!(host.pan.connection().is_none());
+}
+
+mod wire_properties {
+    use btpan_stack::wire::{bnep, hci, l2cap};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn hci_command_round_trips(ogf in 0u8..64, ocf in 0u16..1024,
+                                   params in prop::collection::vec(any::<u8>(), 0..=255)) {
+            let pkt = hci::Packet::Command { ogf, ocf, params };
+            prop_assert_eq!(hci::Packet::decode(&pkt.encode()).unwrap(), pkt);
+        }
+
+        #[test]
+        fn hci_acl_round_trips(handle in 0u16..0x1000, pb in 0u8..4, bc in 0u8..4,
+                               data in prop::collection::vec(any::<u8>(), 0..512)) {
+            let pkt = hci::Packet::AclData { handle, pb, bc, data };
+            prop_assert_eq!(hci::Packet::decode(&pkt.encode()).unwrap(), pkt);
+        }
+
+        #[test]
+        fn l2cap_frame_round_trips(cid in any::<u16>(),
+                                   payload in prop::collection::vec(any::<u8>(), 0..1024)) {
+            let f = l2cap::Frame { cid, payload };
+            prop_assert_eq!(l2cap::Frame::decode(&f.encode()).unwrap(), f);
+        }
+
+        #[test]
+        fn bnep_compressed_round_trips(proto in any::<u16>(),
+                                       payload in prop::collection::vec(any::<u8>(), 0..1691)) {
+            let p = bnep::Packet::CompressedEthernet { proto, payload };
+            prop_assert_eq!(bnep::Packet::decode(&p.encode()).unwrap(), p);
+        }
+
+        #[test]
+        fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let _ = hci::Packet::decode(&bytes);
+            let _ = l2cap::Frame::decode(&bytes);
+            let _ = l2cap::Signal::decode(&bytes);
+            let _ = bnep::Packet::decode(&bytes);
+        }
+    }
+}

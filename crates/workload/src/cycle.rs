@@ -1,0 +1,232 @@
+//! Cycle parameters and the connection-plan abstraction.
+//!
+//! A **cycle** is one pass through the BlueTest utilization phases with
+//! concrete values for the paper's random variables: `S` (scan flag),
+//! `SDP` (service-discovery flag), `B` (baseband packet type), `N`
+//! (packets to send/receive), `LS`/`LR` (sent/received packet sizes) and
+//! `TW` (the Pareto passive off-time).
+//!
+//! A **connection plan** groups 1..=20 consecutive cycles over the same
+//! PAN connection — 1 for the Random WL (it "creates and destroys
+//! connections frequently"), up to 20 for the Realistic WL (a user runs
+//! several applications in sequence over one connection). That
+//! difference alone explains the paper's 84 %/16 % failure split between
+//! the workloads.
+
+use crate::traffic::NetworkedApp;
+use btpan_baseband::PacketType;
+use btpan_sim::prelude::*;
+use btpan_sim::time::SimDuration;
+use std::fmt;
+
+/// Pareto shape of the passive off-time `TW` (Crovella & Bestavros).
+pub const TW_SHAPE: f64 = 1.5;
+/// Pareto scale of `TW` in seconds: mean = 1.5·9/(0.5) /... = 3·xm = 27 s,
+/// matching the paper's measured idle means (27.3 s / 26.9 s).
+pub const TW_SCALE_S: f64 = 9.0;
+
+/// Concrete parameters of one workload cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleParams {
+    /// `S`: perform the inquiry/scan procedure this cycle.
+    pub scan: bool,
+    /// `SDP`: perform the SDP search this cycle.
+    pub sdp: bool,
+    /// `B`: baseband packet type. `None` leaves the choice to the BT
+    /// stack (Realistic WL), which picks the highest-throughput type.
+    pub packet_type: Option<PacketType>,
+    /// `N`: number of upper-layer packets to send.
+    pub n_packets: u64,
+    /// `LS`: size of sent packets in bytes.
+    pub ls: u32,
+    /// `LR`: size of received packets in bytes.
+    pub lr: u32,
+    /// `TW`: passive off-time after the cycle.
+    pub off_time: SimDuration,
+    /// The emulated application (Realistic WL only).
+    pub app: Option<NetworkedApp>,
+}
+
+impl CycleParams {
+    /// The packet type actually used on air: the stack picks DH5 when
+    /// the workload leaves the choice open.
+    pub fn effective_packet_type(&self) -> PacketType {
+        self.packet_type.unwrap_or(PacketType::Dh5)
+    }
+
+    /// Total user bytes moved in the cycle (both directions).
+    pub fn total_bytes(&self) -> u64 {
+        self.n_packets * (u64::from(self.ls) + u64::from(self.lr))
+    }
+
+    /// Baseband payloads this cycle generates given its packet type.
+    pub fn baseband_payloads(&self) -> u64 {
+        self.effective_packet_type().packets_for(self.total_bytes())
+    }
+
+    /// Channel duty factor of the cycle (for the stress model): the
+    /// application's duty, or a neutral mid value for the Random WL.
+    pub fn duty_factor(&self) -> f64 {
+        self.app.map_or(0.5, NetworkedApp::duty_factor)
+    }
+
+    /// Samples a `TW` off-time from the paper's Pareto model.
+    pub fn sample_off_time(rng: &mut SimRng) -> SimDuration {
+        let d = Pareto::new(TW_SHAPE, TW_SCALE_S).expect("valid TW pareto");
+        // Cap pathological tail draws at 10 minutes to keep cycles
+        // flowing (real users come back).
+        SimDuration::from_secs_f64(d.sample(rng).min(600.0))
+    }
+}
+
+/// A sequence of cycles sharing one PAN connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionPlan {
+    /// The cycles to run, in order (1..=20).
+    pub cycles: Vec<CycleParams>,
+}
+
+impl ConnectionPlan {
+    /// Builds a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is empty or longer than 20 (the paper's cap).
+    pub fn new(cycles: Vec<CycleParams>) -> Self {
+        assert!(
+            (1..=20).contains(&cycles.len()),
+            "connection plans run 1..=20 cycles"
+        );
+        ConnectionPlan { cycles }
+    }
+
+    /// Number of cycles in the plan.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Always false: plans hold at least one cycle.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total bytes the plan intends to move.
+    pub fn total_bytes(&self) -> u64 {
+        self.cycles.iter().map(CycleParams::total_bytes).sum()
+    }
+}
+
+/// Which workload generated a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The Random WL of the first testbed.
+    Random,
+    /// The Realistic WL of the second testbed.
+    Realistic,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::Random => f.write_str("random"),
+            WorkloadKind::Realistic => f.write_str("realistic"),
+        }
+    }
+}
+
+/// A workload: a generator of connection plans.
+pub trait WorkloadModel {
+    /// Which workload this is.
+    fn kind(&self) -> WorkloadKind;
+
+    /// Generates the next connection plan.
+    fn next_connection(&self, rng: &mut SimRng) -> ConnectionPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CycleParams {
+        CycleParams {
+            scan: true,
+            sdp: false,
+            packet_type: Some(PacketType::Dm1),
+            n_packets: 10,
+            ls: 100,
+            lr: 200,
+            off_time: SimDuration::from_secs(5),
+            app: None,
+        }
+    }
+
+    #[test]
+    fn byte_and_payload_accounting() {
+        let p = params();
+        assert_eq!(p.total_bytes(), 3_000);
+        // DM1 capacity 17: ceil(3000/17) = 177
+        assert_eq!(p.baseband_payloads(), 177);
+        assert_eq!(p.effective_packet_type(), PacketType::Dm1);
+    }
+
+    #[test]
+    fn stack_choice_defaults_to_dh5() {
+        let mut p = params();
+        p.packet_type = None;
+        assert_eq!(p.effective_packet_type(), PacketType::Dh5);
+    }
+
+    #[test]
+    fn off_time_has_paper_mean() {
+        let mut rng = SimRng::seed_from(41);
+        let n = 100_000;
+        let mean = (0..n)
+            .map(|_| CycleParams::sample_off_time(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        // Pareto(1.5, 9): mean 27 s (capped tail pulls it down slightly).
+        assert!((mean - 26.0).abs() < 2.5, "TW mean {mean}");
+    }
+
+    #[test]
+    fn off_time_never_below_scale() {
+        let mut rng = SimRng::seed_from(42);
+        for _ in 0..10_000 {
+            assert!(CycleParams::sample_off_time(&mut rng) >= SimDuration::from_secs(9));
+        }
+    }
+
+    #[test]
+    fn plan_bounds() {
+        let plan = ConnectionPlan::new(vec![params(); 20]);
+        assert_eq!(plan.len(), 20);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.total_bytes(), 60_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=20")]
+    fn oversize_plan_rejected() {
+        let _ = ConnectionPlan::new(vec![params(); 21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=20")]
+    fn empty_plan_rejected() {
+        let _ = ConnectionPlan::new(vec![]);
+    }
+
+    #[test]
+    fn duty_factor_defaults() {
+        assert_eq!(params().duty_factor(), 0.5);
+        let mut p = params();
+        p.app = Some(NetworkedApp::P2p);
+        assert_eq!(p.duty_factor(), 0.95);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(WorkloadKind::Random.to_string(), "random");
+        assert_eq!(WorkloadKind::Realistic.to_string(), "realistic");
+    }
+}

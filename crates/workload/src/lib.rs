@@ -1,0 +1,31 @@
+//! # btpan-workload
+//!
+//! The `BlueTest` synthetic workload: "applications running on real-world
+//! Bluetooth PANs, emulating the behavior of Bluetooth users using
+//! different profiles", run 24/7 so TTF/TTR can be measured.
+//!
+//! Each cycle executes the common BT utilization phases — inquiry/scan
+//! (flag `S`), SDP search for the NAP (flag `SDP`), L2CAP + BNEP (PAN)
+//! connect, role switch to slave, data transfer, disconnect — then waits
+//! a Pareto-distributed passive off-time `T_W` (shape 1.5, after
+//! Crovella & Bestavros).
+//!
+//! * [`cycle`] — cycle parameters and the connection plan abstraction;
+//! * [`random`] — the **Random WL**: totally random `B`, `N`, `LS`,
+//!   `LR`; a fresh connection every cycle. Used to study the channel
+//!   irrespective of the application;
+//! * [`realistic`] — the **Realistic WL**: parameters follow published
+//!   Internet traffic models (Pareto resource sizes, per-application
+//!   PDUs), 1–20 consecutive cycles per connection;
+//! * [`traffic`] — the per-application traffic models (Web, FTP, Mail,
+//!   P2P, audio/video streaming).
+
+pub mod cycle;
+pub mod random;
+pub mod realistic;
+pub mod traffic;
+
+pub use cycle::{ConnectionPlan, CycleParams, WorkloadKind, WorkloadModel};
+pub use random::RandomWorkload;
+pub use realistic::RealisticWorkload;
+pub use traffic::NetworkedApp;

@@ -1,0 +1,153 @@
+//! The Random WL: totally random channel stimulation.
+//!
+//! "It generates totally random values for `B`, `N`, `LS`, and `LR`. In
+//! particular, `B` is randomly chosen among the six BT packet types
+//! (i.e. DMx or DHx), according to a binomial distribution. This helps
+//! to 'stimulate' the channel with every packet type. `N`, `LS`, and
+//! `LR` are generated following uniform distributions." Each cycle runs
+//! on its own connection — the Random WL "creates and destroys
+//! connections frequently", which is why it produced 84 % of all
+//! observed failures.
+
+use crate::cycle::{ConnectionPlan, CycleParams, WorkloadKind, WorkloadModel};
+use btpan_baseband::PacketType;
+use btpan_sim::prelude::*;
+
+/// Configuration of the Random WL generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWorkload {
+    /// Inclusive range of `N` (packets per cycle).
+    pub n_range: (u64, u64),
+    /// Inclusive range of `LS`/`LR` in bytes (up to the BNEP MTU).
+    pub len_range: (u32, u32),
+    /// Number of Bernoulli trials of the binomial packet-type pick
+    /// (5 trials index the six types).
+    binomial_trials: u32,
+}
+
+impl Default for RandomWorkload {
+    fn default() -> Self {
+        RandomWorkload::paper()
+    }
+}
+
+impl RandomWorkload {
+    /// The paper's configuration: `N` uniform 1–100, lengths uniform up
+    /// to the 1691-byte BNEP MTU.
+    pub fn paper() -> Self {
+        RandomWorkload {
+            n_range: (1, 100),
+            len_range: (64, 1691),
+            binomial_trials: 5,
+        }
+    }
+
+    /// The special Fig. 3b variant: `N` fixed to 10 000 packets and both
+    /// `LS`/`LR` fixed to 1691 bytes "in order to not introduce
+    /// indetermination when estimating the failing connection length".
+    pub fn fig3b_fixed() -> Self {
+        RandomWorkload {
+            n_range: (10_000, 10_000),
+            len_range: (1691, 1691),
+            binomial_trials: 5,
+        }
+    }
+
+    /// Samples `B` with the binomial index over the six types.
+    pub fn sample_packet_type(&self, rng: &mut SimRng) -> PacketType {
+        let successes = (0..self.binomial_trials).filter(|_| rng.chance(0.5)).count();
+        PacketType::ALL[successes.min(PacketType::ALL.len() - 1)]
+    }
+}
+
+impl WorkloadModel for RandomWorkload {
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::Random
+    }
+
+    fn next_connection(&self, rng: &mut SimRng) -> ConnectionPlan {
+        let params = CycleParams {
+            scan: rng.chance(0.5),
+            sdp: rng.chance(0.5),
+            packet_type: Some(self.sample_packet_type(rng)),
+            n_packets: rng.uniform_u64(self.n_range.0, self.n_range.1),
+            ls: rng.uniform_u64(u64::from(self.len_range.0), u64::from(self.len_range.1)) as u32,
+            lr: rng.uniform_u64(u64::from(self.len_range.0), u64::from(self.len_range.1)) as u32,
+            off_time: CycleParams::sample_off_time(rng),
+            app: None,
+        };
+        ConnectionPlan::new(vec![params])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cycle_per_connection() {
+        let wl = RandomWorkload::paper();
+        let mut rng = SimRng::seed_from(50);
+        for _ in 0..100 {
+            let plan = wl.next_connection(&mut rng);
+            assert_eq!(plan.len(), 1);
+            assert!(plan.cycles[0].app.is_none());
+        }
+        assert_eq!(wl.kind(), WorkloadKind::Random);
+    }
+
+    #[test]
+    fn parameters_within_ranges() {
+        let wl = RandomWorkload::paper();
+        let mut rng = SimRng::seed_from(51);
+        for _ in 0..2_000 {
+            let c = wl.next_connection(&mut rng).cycles[0];
+            assert!((1..=100).contains(&c.n_packets));
+            assert!((64..=1691).contains(&c.ls));
+            assert!((64..=1691).contains(&c.lr));
+            assert!(c.packet_type.is_some());
+        }
+    }
+
+    #[test]
+    fn binomial_covers_all_types_with_central_peak() {
+        let wl = RandomWorkload::paper();
+        let mut rng = SimRng::seed_from(52);
+        let mut counts = [0u32; 6];
+        let n = 60_000;
+        for _ in 0..n {
+            let pt = wl.sample_packet_type(&mut rng);
+            counts[PacketType::ALL.iter().position(|&p| p == pt).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        // Binomial(5, 0.5): central types (idx 2,3) hold 10/16+.., tails 1/32.
+        assert!(counts[2] > counts[0] * 5);
+        assert!(counts[3] > counts[5] * 5);
+        let tail_freq = counts[0] as f64 / n as f64;
+        assert!((tail_freq - 1.0 / 32.0).abs() < 0.005, "{tail_freq}");
+    }
+
+    #[test]
+    fn scan_and_sdp_flags_uniform() {
+        let wl = RandomWorkload::paper();
+        let mut rng = SimRng::seed_from(53);
+        let n = 20_000;
+        let scans = (0..n)
+            .filter(|_| wl.next_connection(&mut rng).cycles[0].scan)
+            .count();
+        let freq = scans as f64 / n as f64;
+        assert!((freq - 0.5).abs() < 0.02, "scan freq {freq}");
+    }
+
+    #[test]
+    fn fig3b_variant_is_deterministic_in_size() {
+        let wl = RandomWorkload::fig3b_fixed();
+        let mut rng = SimRng::seed_from(54);
+        for _ in 0..100 {
+            let c = wl.next_connection(&mut rng).cycles[0];
+            assert_eq!(c.n_packets, 10_000);
+            assert_eq!(c.ls, 1691);
+            assert_eq!(c.lr, 1691);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! A full failure-data collection campaign: both testbeds, the
+//! LogAnalyzer/repository pipeline, and the merge-and-coalesce analysis
+//! — ending with the error–failure relationship matrix (paper Table 2).
+//!
+//! ```sh
+//! cargo run --release --example failure_campaign
+//! ```
+
+use btpan::experiment::{fig2, table2, Scale};
+use btpan::prelude::*;
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+
+fn main() {
+    let scale = Scale {
+        seeds: vec![7, 8],
+        duration: SimDuration::from_secs(24 * 3600),
+    };
+
+    // Step 1+2: merge per-node logs and tune the coalescence window by
+    // sensitivity analysis (Fig. 2).
+    let curve = fig2(&scale);
+    let knee = curve.knee();
+    println!(
+        "sensitivity analysis over {} log records: knee at {:.0} s (paper chose 330 s)",
+        curve.record_count, knee
+    );
+
+    // Step 3: infer error-failure relationships at the chosen window.
+    let matrix = table2(&scale, SimDuration::from_secs_f64(knee));
+    println!(
+        "\nerror-failure evidence from {} related failures:",
+        matrix.grand_total()
+    );
+    for f in UserFailure::ALL {
+        if matrix.total(f) == 0 {
+            continue;
+        }
+        let mut best: Option<(String, f64)> = None;
+        for c in SystemComponent::ALL {
+            for site in [CauseSite::Local, CauseSite::Nap] {
+                let p = matrix.percent(f, c, site);
+                if best.as_ref().is_none_or(|(_, bp)| p > *bp) {
+                    best = Some((format!("{c} ({site})"), p));
+                }
+            }
+        }
+        let none = matrix.percent_none(f);
+        match best {
+            Some((cause, p)) if p > none => {
+                println!("  {f:<24} -> {cause:<16} {p:.1}% of cases");
+            }
+            _ => println!("  {f:<24} -> no dominant system-level evidence"),
+        }
+    }
+    println!(
+        "\nHCI column total: {:.1}% of all failures (paper: 49.9%)",
+        matrix.column_total_percent(SystemComponent::Hci)
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run one short campaign on the paper's Random-WL testbed
+//! and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use btpan::prelude::*;
+
+fn main() {
+    // The paper's testbed: Giallo (NAP) + 6 heterogeneous PANUs,
+    // BlueTest Random WL, full SIRA cascade, 12 simulated hours.
+    let config = CampaignConfig::paper(42, WorkloadKind::Random, RecoveryPolicy::Siras)
+        .duration(SimDuration::from_secs(12 * 3600));
+    let result = Campaign::new(config).run();
+
+    println!("simulated {:.1} h of the Random-WL testbed", result.simulated.as_secs_f64() / 3600.0);
+    println!("  cycles run:          {}", result.cycles_run);
+    println!("  user-level failures: {}", result.failure_count);
+    println!("  log items collected: {}", result.repository.total_count());
+
+    let series = result.piconet_series();
+    let ttf = series.ttf_stats();
+    let ttr = series.ttr_stats();
+    if let (Some(mttf), Some(mttr)) = (ttf.mean(), ttr.mean()) {
+        println!("  piconet MTTF:        {mttf:.0} s (paper, both testbeds pooled: 630-845 s)");
+        println!("  MTTR:                {mttr:.0} s");
+        println!("  availability:        {:.3}", mttf / (mttf + mttr));
+    }
+
+    // What failed, and how often?
+    let mut counts = std::collections::BTreeMap::new();
+    for t in result.repository.tests() {
+        *counts.entry(t.failure).or_insert(0u64) += 1;
+    }
+    println!("\n  failure mix:");
+    for (f, c) in counts {
+        println!("    {f}: {c}");
+    }
+}

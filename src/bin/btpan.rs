@@ -1,0 +1,12 @@
+//! The `btpan` command-line tool. See `btpan help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match btpan_core::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # btpan
+//!
+//! A faithful, fully-simulated reproduction of *Collecting and Analyzing
+//! Failure Data of Bluetooth Personal Area Networks* (Cinque, Cotroneo,
+//! Russo — DSN 2006): two heterogeneous Bluetooth PAN testbeds under a
+//! 24/7 synthetic workload, the merge-and-coalesce failure-data analysis
+//! pipeline, software-implemented recovery actions, error-masking
+//! strategies, and the dependability improvements they buy.
+//!
+//! This facade crate re-exports [`btpan_core`]; see the workspace crates
+//! for the individual subsystems:
+//!
+//! * `btpan-sim` — deterministic simulation substrate;
+//! * `btpan-baseband` — slot-level ACL link (CRC-16, FEC, bursty
+//!   channel, ARQ, piconet TDD);
+//! * `btpan-stack` — HCI/LMP/L2CAP/SDP/BNEP/PAN, USB & BCSP transports,
+//!   the hotplug bind race;
+//! * `btpan-faults` — the failure model of paper Table 1 with the
+//!   calibrated injection profiles of Tables 2–3;
+//! * `btpan-workload` — the Random and Realistic `BlueTest` workloads;
+//! * `btpan-collect` — Test/System logs, LogAnalyzer, repository,
+//!   tupling coalescence and the window-sensitivity analysis;
+//! * `btpan-recovery` — the seven SIRAs, masking strategies, and the
+//!   four Table 4 recovery policies;
+//! * `btpan-analysis` — TTF/TTR, MTTF/MTTR/availability/coverage, the
+//!   failure-distribution figures, paper reference values;
+//! * `btpan-core` — testbed assembly, campaign simulation, experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use btpan::prelude::*;
+//!
+//! // One simulated hour of the Random-WL testbed under the SIRA policy.
+//! let config = CampaignConfig::paper(42, WorkloadKind::Random, RecoveryPolicy::Siras)
+//!     .duration(SimDuration::from_secs(3_600));
+//! let result = Campaign::new(config).run();
+//! println!(
+//!     "{} cycles, {} failures, {} log items collected",
+//!     result.cycles_run,
+//!     result.failure_count,
+//!     result.repository.total_count()
+//! );
+//! ```
+
+pub use btpan_core::*;
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use btpan_core::prelude::*;
+    pub use btpan_sim::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,82 @@
+//! Quick-scale smoke runs of every experiment entry point.
+
+use btpan::experiment::{self, Scale};
+use btpan::prelude::*;
+use btpan_faults::UserFailure;
+
+fn scale() -> Scale {
+    Scale {
+        seeds: vec![77],
+        duration: SimDuration::from_secs(12 * 3600),
+    }
+}
+
+#[test]
+fn fig3b_young_connections_fail_more() {
+    let hist = experiment::fig3b(&Scale {
+        seeds: vec![9, 10],
+        duration: SimDuration::from_secs(24 * 3600),
+    });
+    assert!(hist.total > 10, "too few losses: {}", hist.total);
+    assert!(hist.young_dominated(), "histogram not front-loaded: {:?}", hist.bins);
+}
+
+#[test]
+fn fig3c_p2p_and_streaming_dominate() {
+    let table = experiment::fig3c(&Scale {
+        seeds: vec![5, 6, 7],
+        duration: SimDuration::from_secs(48 * 3600),
+    });
+    let heavy = table.percent("P2P") + table.percent("Streaming");
+    let light = table.percent("Mail") + table.percent("Web");
+    assert!(
+        heavy > light,
+        "P2P+Streaming {heavy}% vs Mail+Web {light}% (total {})",
+        table.total()
+    );
+}
+
+#[test]
+fn fig4_quirk_hosts_carry_their_signature_failures() {
+    let map = experiment::fig4(&scale());
+    if let Some(bind) = map.get(&UserFailure::BindFailed) {
+        assert_eq!(
+            bind.count("Verde") + bind.count("Miseno") + bind.count("Ipaq") + bind.count("Zaurus"),
+            0,
+            "bind failures outside Azzurro/Win"
+        );
+    }
+}
+
+#[test]
+fn findings_shape() {
+    let f = experiment::findings(&Scale {
+        seeds: vec![3, 4],
+        duration: SimDuration::from_secs(24 * 3600),
+    });
+    assert!(
+        f.random_share_percent > 60.0,
+        "random WL share {} (paper 84 %)",
+        f.random_share_percent
+    );
+    // Idle times: both near the 27 s Pareto mean, close to each other.
+    assert!((f.idle_before_clean_s - 26.9).abs() < 8.0);
+    let total: f64 = f.distance_shares.iter().map(|(_, p)| p).sum();
+    assert!((total - 100.0).abs() < 1.0, "distance shares total {total}");
+    // No distance dominates (the paper's insensitivity finding).
+    for &(d, p) in &f.distance_shares {
+        assert!((15.0..55.0).contains(&p), "distance {d} share {p}%");
+    }
+}
+
+#[test]
+fn table4_report_has_all_four_scenarios() {
+    let report = experiment::table4(&Scale {
+        seeds: vec![2],
+        duration: SimDuration::from_secs(8 * 3600),
+    });
+    assert_eq!(report.scenarios.len(), 4);
+    for (label, m) in &report.scenarios {
+        assert!(m.availability > 0.5 && m.availability <= 1.0, "{label}: {}", m.availability);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's masking claims, end to end.
+
+use btpan::prelude::*;
+use btpan_faults::UserFailure;
+
+fn run(policy: RecoveryPolicy, seed: u64) -> CampaignResult {
+    Campaign::new(
+        CampaignConfig::paper(seed, WorkloadKind::Random, policy)
+            .duration(SimDuration::from_secs(30 * 3600)),
+    )
+    .run()
+}
+
+#[test]
+fn masking_eliminates_bind_failures_entirely() {
+    let masked = run(RecoveryPolicy::SirasAndMasking, 41);
+    let binds = masked
+        .repository
+        .tests()
+        .iter()
+        .filter(|t| t.failure == UserFailure::BindFailed)
+        .count();
+    assert_eq!(binds, 0, "bind failures survived the T_C/T_H wait");
+}
+
+#[test]
+fn masking_nearly_eliminates_nap_not_found() {
+    let base = run(RecoveryPolicy::Siras, 43);
+    let masked = run(RecoveryPolicy::SirasAndMasking, 43);
+    let count = |r: &CampaignResult| {
+        r.repository
+            .tests()
+            .iter()
+            .filter(|t| t.failure == UserFailure::NapNotFound)
+            .count()
+    };
+    let b = count(&base);
+    let m = count(&masked);
+    assert!(b >= 8, "baseline NNF too rare to compare: {b}");
+    assert!(m * 5 < b, "masking left too many NNF: {m} of {b}");
+}
+
+#[test]
+fn masking_improves_mttf_and_availability() {
+    let base = run(RecoveryPolicy::Siras, 47);
+    let masked = run(RecoveryPolicy::SirasAndMasking, 47);
+    let stats = |r: &CampaignResult| {
+        let s = r.piconet_series();
+        let mttf = s.ttf_stats().mean().unwrap_or(f64::INFINITY);
+        let mttr = s.ttr_stats().mean().unwrap_or(0.0);
+        (mttf, mttf / (mttf + mttr))
+    };
+    let (mttf_b, avail_b) = stats(&base);
+    let (mttf_m, avail_m) = stats(&masked);
+    assert!(mttf_m > mttf_b * 1.5, "MTTF {mttf_b} -> {mttf_m}");
+    assert!(avail_m > avail_b, "availability {avail_b} -> {avail_m}");
+}
+
+#[test]
+fn masked_fraction_near_paper_58_percent() {
+    let masked = run(RecoveryPolicy::SirasAndMasking, 53);
+    let would_be = masked.masked_count + masked.failure_count;
+    let pct = 100.0 * masked.masked_count as f64 / would_be.max(1) as f64;
+    assert!(
+        (40.0..75.0).contains(&pct),
+        "masking percentage {pct} far from the paper's 58 %"
+    );
+}

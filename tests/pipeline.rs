@@ -1,0 +1,93 @@
+//! End-to-end pipeline test: simulated campaign -> LogAnalyzer ->
+//! repository -> merge -> coalesce -> relationship inference, checking
+//! the analysis recovers the injected ground truth.
+
+use btpan::machine::NAP_NODE_ID;
+use btpan::prelude::*;
+use btpan_collect::relate::RelationshipMatrix;
+use btpan_collect::sensitivity::SensitivityCurve;
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+
+fn campaign(workload: WorkloadKind) -> CampaignResult {
+    Campaign::new(
+        CampaignConfig::paper(31, workload, RecoveryPolicy::Siras)
+            .duration(SimDuration::from_secs(30 * 3600)),
+    )
+    .run()
+}
+
+#[test]
+fn analysis_recovers_injected_relationships() {
+    let result = campaign(WorkloadKind::Random);
+    let nap = result.repository.system_records_of(NAP_NODE_ID);
+    let streams: Vec<_> = result
+        .repository
+        .reporting_nodes()
+        .into_iter()
+        .map(|n| (n, result.repository.records_of(n)))
+        .collect();
+    let m = RelationshipMatrix::from_node_logs(&streams, &nap, NAP_NODE_ID, SimDuration::from_secs(330));
+    assert!(m.grand_total() > 30, "too few related failures");
+
+    // Bind failures: mechanistic causes are HCI (before T_C) and
+    // hotplug/BNEP (after) — never SDP or BCSP.
+    if m.total(UserFailure::BindFailed) >= 10 {
+        let sdp = m.percent(UserFailure::BindFailed, SystemComponent::Sdp, CauseSite::Local);
+        assert!(sdp < 10.0, "bind related to SDP: {sdp}%");
+        let hci = m.percent(UserFailure::BindFailed, SystemComponent::Hci, CauseSite::Local);
+        assert!(hci > 25.0, "bind HCI share {hci}%");
+    }
+    // NAP-not-found is SDP-dominated, with visible NAP propagation.
+    if m.total(UserFailure::NapNotFound) >= 10 {
+        let sdp = m.percent(UserFailure::NapNotFound, SystemComponent::Sdp, CauseSite::Local)
+            + m.percent(UserFailure::NapNotFound, SystemComponent::Sdp, CauseSite::Nap);
+        assert!(sdp > 60.0, "NNF SDP share {sdp}%");
+    }
+}
+
+#[test]
+fn nap_propagation_is_observed() {
+    let result = campaign(WorkloadKind::Random);
+    // Some system evidence must land on the NAP's log (site = NAP causes).
+    let nap_entries = result.repository.system_records_of(NAP_NODE_ID).len();
+    assert!(nap_entries > 0, "no NAP-side system entries at all");
+}
+
+#[test]
+fn sensitivity_curve_monotone_on_real_logs() {
+    let result = campaign(WorkloadKind::Random);
+    for node in result.repository.reporting_nodes().into_iter().take(2) {
+        let mut records = result.repository.records_of(node);
+        records.sort();
+        if records.len() < 10 {
+            continue;
+        }
+        let curve = SensitivityCurve::sweep(&records, 1.0, 10_000.0, 25);
+        for w in curve.tuples.windows(2) {
+            assert!(w[1] <= w[0], "tuple count must not grow with the window");
+        }
+        assert!(*curve.tuples.last().unwrap() >= 1);
+    }
+}
+
+#[test]
+fn analyzer_shipping_is_idempotent_under_duplicates() {
+    // Shipping the same logs twice must not duplicate repository content.
+    use btpan_collect::analyzer::LogAnalyzer;
+    use btpan_collect::logs::{SystemLog, TestLog};
+    use btpan_collect::repository::Repository;
+    let result = campaign(WorkloadKind::Random);
+    let tests = result.repository.tests();
+    let node = tests.first().expect("some failures").node;
+    let mut tl = TestLog::new(node);
+    for t in tests.iter().filter(|t| t.node == node) {
+        tl.append(t.clone());
+    }
+    let sl = SystemLog::new(node);
+    let repo = Repository::new();
+    let mut an = LogAnalyzer::new(node);
+    let first = an.run_once(&tl, &sl, &repo);
+    let second = an.run_once(&tl, &sl, &repo);
+    assert!(first.0 > 0);
+    assert_eq!(second, (0, 0));
+}

@@ -1,0 +1,64 @@
+//! Table 4 orderings across the four recovery policies, end to end.
+
+use btpan::prelude::*;
+
+fn run(policy: RecoveryPolicy) -> CampaignResult {
+    Campaign::new(
+        CampaignConfig::paper(61, WorkloadKind::Random, policy)
+            .duration(SimDuration::from_secs(36 * 3600)),
+    )
+    .run()
+}
+
+#[test]
+fn mttr_ordering_matches_table4() {
+    let reboot = run(RecoveryPolicy::RebootOnly);
+    let app = run(RecoveryPolicy::AppRestartThenReboot);
+    let siras = run(RecoveryPolicy::Siras);
+    let mttr = |r: &CampaignResult| r.piconet_series().ttr_stats().mean().unwrap_or(0.0);
+    let (r, a, s) = (mttr(&reboot), mttr(&app), mttr(&siras));
+    assert!(r > a * 2.0, "reboot {r} vs app restart {a}");
+    assert!(a > s, "app restart {a} vs SIRAs {s}");
+    // Paper bands: 285.92 / 85.12 / 70.94 s.
+    assert!((150.0..420.0).contains(&r), "reboot-only MTTR {r}");
+    assert!((40.0..140.0).contains(&s), "SIRA MTTR {s}");
+}
+
+#[test]
+fn reboot_only_hurts_mttf() {
+    let reboot = run(RecoveryPolicy::RebootOnly);
+    let siras = run(RecoveryPolicy::Siras);
+    let mttf = |r: &CampaignResult| r.piconet_series().ttf_stats().mean().unwrap_or(0.0);
+    assert!(
+        mttf(&reboot) < mttf(&siras),
+        "reboot-only should shorten MTTF: {} vs {}",
+        mttf(&reboot),
+        mttf(&siras)
+    );
+}
+
+#[test]
+fn coverage_only_counted_under_siras() {
+    let reboot = run(RecoveryPolicy::RebootOnly);
+    assert_eq!(reboot.covered_count, 0, "user reboots cannot count as coverage");
+    let siras = run(RecoveryPolicy::Siras);
+    assert!(siras.covered_count > 0);
+    let frac = siras.covered_count as f64 / siras.failure_count.max(1) as f64;
+    assert!(
+        (0.35..0.80).contains(&frac),
+        "SIRA 1-3 coverage fraction {frac} far from the paper's 58.4 %"
+    );
+}
+
+#[test]
+fn availability_ordering() {
+    let reboot = run(RecoveryPolicy::RebootOnly);
+    let masked = run(RecoveryPolicy::SirasAndMasking);
+    let avail = |r: &CampaignResult| {
+        let s = r.piconet_series();
+        let f = s.ttf_stats().mean().unwrap_or(f64::INFINITY);
+        let t = s.ttr_stats().mean().unwrap_or(0.0);
+        f / (f + t)
+    };
+    assert!(avail(&masked) > avail(&reboot) + 0.03);
+}

@@ -1,0 +1,81 @@
+//! Property-based tests over the pipeline's invariants, driven by
+//! proptest on top of real campaign output.
+
+use btpan::prelude::*;
+use btpan_collect::coalesce::coalesce;
+use btpan_collect::merge::merge_records;
+use proptest::prelude::*;
+
+fn short_campaign(seed: u64) -> CampaignResult {
+    Campaign::new(
+        CampaignConfig::paper(seed, WorkloadKind::Random, RecoveryPolicy::Siras)
+            .duration(SimDuration::from_secs(2 * 3600)),
+    )
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coalescence_monotone_in_window(seed in 1u64..500, w1 in 1u64..2_000, w2 in 1u64..2_000) {
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        let r = short_campaign(seed);
+        for node in r.repository.reporting_nodes().into_iter().take(1) {
+            let mut records = r.repository.records_of(node);
+            records.sort();
+            let t_lo = coalesce(&records, SimDuration::from_secs(lo)).len();
+            let t_hi = coalesce(&records, SimDuration::from_secs(hi)).len();
+            prop_assert!(t_hi <= t_lo, "window {lo}->{hi}: tuples {t_lo}->{t_hi}");
+        }
+    }
+
+    #[test]
+    fn coalescence_preserves_every_record(seed in 1u64..500, w in 1u64..5_000) {
+        let r = short_campaign(seed);
+        for node in r.repository.reporting_nodes().into_iter().take(1) {
+            let mut records = r.repository.records_of(node);
+            records.sort();
+            let tuples = coalesce(&records, SimDuration::from_secs(w));
+            let total: usize = tuples.iter().map(|t| t.len()).sum();
+            prop_assert_eq!(total, records.len());
+        }
+    }
+
+    #[test]
+    fn merge_is_sorted_and_complete(seed in 1u64..500) {
+        let r = short_campaign(seed);
+        let nodes = r.repository.reporting_nodes();
+        let streams: Vec<_> = nodes.iter().map(|&n| r.repository.records_of(n)).collect();
+        let expected: usize = streams.iter().map(Vec::len).sum();
+        let merged = merge_records(streams);
+        prop_assert_eq!(merged.len(), expected);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn timeline_partition_invariant(seed in 1u64..500) {
+        let r = short_campaign(seed);
+        for tl in &r.timelines {
+            prop_assert_eq!(tl.uptime() + tl.downtime(), tl.span());
+            let series = tl.series();
+            // downtime equals the sum of TTRs
+            let ttr_sum: SimDuration = series.ttr.iter().copied().sum();
+            prop_assert_eq!(ttr_sum, tl.downtime());
+        }
+    }
+
+    #[test]
+    fn availability_in_unit_interval(seed in 1u64..200) {
+        let r = short_campaign(seed);
+        let s = r.piconet_series();
+        if !s.is_empty() {
+            let mttf = s.ttf_stats().mean().unwrap_or(0.0);
+            let mttr = s.ttr_stats().mean().unwrap_or(0.0);
+            let a = mttf / (mttf + mttr).max(f64::MIN_POSITIVE);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}
