@@ -31,7 +31,7 @@ pub mod report;
 pub mod tables;
 pub mod ttf;
 
-pub use dependability::{DependabilityReport, ScenarioMeasurement};
+pub use dependability::{ConfidenceInterval, DependabilityReport, ScenarioMeasurement};
 pub use markov::MarkovAvailability;
 pub use redundancy::{replay_with_redundancy, RedundancyConfig};
 pub use distributions::{AgeHistogram, ShareTable};

@@ -445,7 +445,10 @@ mod tests {
     fn interferer_duty_cycle() {
         let mut i = Interferer::new(40, 79, 1.0, 2.0, 8.0);
         let mut r = rng();
-        let n = 400_000;
+        // Mean cycle is 16 000 slots (2 s on + 8 s off), so sample a few
+        // hundred cycles to keep the duty estimator's σ well under the
+        // assertion margin regardless of the RNG stream.
+        let n = 4_000_000;
         let on = (0..n).filter(|&s| i.slot_ber(s, 40, &mut r) > 0.0).count();
         let duty = on as f64 / n as f64;
         assert!((duty - 0.2).abs() < 0.05, "duty {duty}");

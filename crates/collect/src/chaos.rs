@@ -1,0 +1,383 @@
+//! Deterministic fault injection for the collection pipeline itself.
+//!
+//! The paper's LogAnalyzer daemons shipped log files over the very PAN
+//! being measured, so the collection path saw the same unreliable
+//! transport as the workload: interrupted transfers truncate a log
+//! mid-record, retransmissions deliver the same shipment twice, nodes
+//! flush out of order, and unsynchronized clocks skew timestamps across
+//! nodes. This module reproduces those pipeline faults *on the exported
+//! trace*, so the importer's defenses ([`import_trace_lenient`],
+//! [`Repository::store_record`] idempotency) can be exercised
+//! deterministically: the same [`ChaosConfig`] (including its seed)
+//! always yields the same corrupted byte stream.
+//!
+//! The injector is text-level on purpose — it garbles the JSONL wire
+//! format the way a real transport would, rather than politely mutating
+//! parsed records.
+
+use crate::entry::LogRecord;
+use crate::repository::Repository;
+use crate::trace::{export_trace, import_trace_lenient, repository_from_records, QuarantineReport};
+use btpan_sim::rng::SimRng;
+use btpan_sim::time::SimTime;
+
+/// Per-line fault probabilities and shaping for the pipeline injector.
+///
+/// All rates are probabilities in `[0, 1]`, applied independently per
+/// trace line. The default injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability a line is garbled (random junk spliced in, making it
+    /// unparseable).
+    pub corrupt_line_rate: f64,
+    /// Probability a line is cut off mid-record (interrupted transfer).
+    pub truncate_line_rate: f64,
+    /// Probability a line is delivered twice (retransmission).
+    pub duplicate_rate: f64,
+    /// Maximum displacement, in lines, of out-of-order delivery
+    /// (0 = in-order).
+    pub reorder_window: usize,
+    /// Half-width, in seconds, of the uniform clock skew applied to each
+    /// record's timestamp (0.0 = synchronized clocks).
+    pub clock_skew_s: f64,
+    /// Seed of the injector's own RNG stream.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            corrupt_line_rate: 0.0,
+            truncate_line_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_window: 0,
+            clock_skew_s: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A config that injects nothing — the identity pipeline.
+    pub fn none(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// True when every fault kind is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.corrupt_line_rate <= 0.0
+            && self.truncate_line_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.reorder_window == 0
+            && self.clock_skew_s <= 0.0
+    }
+}
+
+/// What the injector actually did to a trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Lines in the pristine trace.
+    pub lines_in: usize,
+    /// Lines in the corrupted trace (after duplication).
+    pub lines_out: usize,
+    /// Lines garbled into unparseable junk.
+    pub corrupted: usize,
+    /// Lines cut off mid-record.
+    pub truncated: usize,
+    /// Lines delivered twice.
+    pub duplicated: usize,
+    /// Records whose timestamp was skewed.
+    pub skewed: usize,
+}
+
+impl ChaosStats {
+    /// Lines damaged beyond parsing (corrupted + truncated).
+    pub fn damaged(&self) -> usize {
+        self.corrupted + self.truncated
+    }
+}
+
+/// Applies the configured pipeline faults to an exported trace,
+/// returning the corrupted trace and a tally of the injected faults.
+///
+/// Deterministic: the fault pattern depends only on `config` (including
+/// `config.seed`) and the input line count, never on wall-clock state.
+pub fn inject(trace: &str, config: &ChaosConfig) -> (String, ChaosStats) {
+    let mut stats = ChaosStats::default();
+    let mut rng = SimRng::seed_from(config.seed).fork("collect/chaos");
+    let mut lines: Vec<String> = Vec::new();
+
+    for line in trace.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        stats.lines_in += 1;
+        let line = maybe_skew_clock(line, config, &mut rng, &mut stats);
+        let copies = if config.duplicate_rate > 0.0 && rng.chance(config.duplicate_rate) {
+            stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            lines.push(damage_line(&line, config, &mut rng, &mut stats));
+        }
+    }
+
+    if config.reorder_window > 0 {
+        reorder(&mut lines, config.reorder_window, &mut rng);
+    }
+
+    stats.lines_out = lines.len();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    (out, stats)
+}
+
+/// End-to-end shipment of a repository through a faulty pipeline:
+/// export, inject, lenient re-import, rebuild.
+///
+/// The rebuilt repository contains every record that survived the
+/// transport (duplicates collapsed by
+/// [`Repository::store_record`]); the [`QuarantineReport`] counts what
+/// the importer had to discard and the [`ChaosStats`] what the injector
+/// actually broke.
+pub fn ship_through_chaos(
+    repo: &Repository,
+    config: &ChaosConfig,
+) -> (Repository, QuarantineReport, ChaosStats) {
+    let trace = export_trace(repo);
+    let (noisy, stats) = inject(&trace, config);
+    let (records, report) = import_trace_lenient(&noisy);
+    (repository_from_records(&records), report, stats)
+}
+
+/// Re-serializes a record line with its timestamp shifted by a uniform
+/// skew in `±clock_skew_s`, saturating at the epoch. Unparseable lines
+/// pass through untouched.
+fn maybe_skew_clock(
+    line: &str,
+    config: &ChaosConfig,
+    rng: &mut SimRng,
+    stats: &mut ChaosStats,
+) -> String {
+    if config.clock_skew_s <= 0.0 {
+        return line.to_string();
+    }
+    let Ok(mut record) = serde_json::from_str::<LogRecord>(line) else {
+        return line.to_string();
+    };
+    let skew_us = (config.clock_skew_s * 1e6) as i64;
+    let delta = rng.uniform_u64(0, 2 * skew_us as u64) as i64 - skew_us;
+    if delta == 0 {
+        return line.to_string();
+    }
+    stats.skewed += 1;
+    let at = record.at.as_micros() as i64;
+    record.at = SimTime::from_micros(at.saturating_add(delta).max(0) as u64);
+    serde_json::to_string(&record).expect("record re-serializes")
+}
+
+/// Garbles or truncates a line per the configured rates (garbling wins
+/// when both fire).
+fn damage_line(line: &str, config: &ChaosConfig, rng: &mut SimRng, stats: &mut ChaosStats) -> String {
+    if config.corrupt_line_rate > 0.0 && rng.chance(config.corrupt_line_rate) {
+        stats.corrupted += 1;
+        return garble(line, rng);
+    }
+    if config.truncate_line_rate > 0.0 && rng.chance(config.truncate_line_rate) {
+        stats.truncated += 1;
+        return truncate(line, rng);
+    }
+    line.to_string()
+}
+
+/// Splices junk into a line right after its opening brace, guaranteeing
+/// a syntax error (not a bare EOF) at a position that still varies junk
+/// content by line.
+fn garble(line: &str, rng: &mut SimRng) -> String {
+    let junk: String = (0..4)
+        .map(|_| (b'#' + rng.uniform_u64(0, 20) as u8) as char)
+        .collect();
+    match line.find('{') {
+        Some(pos) => format!("{}{}{}", &line[..pos + 1], junk, &line[pos + 1..]),
+        None => junk,
+    }
+}
+
+/// Cuts a line at a random interior character boundary, leaving an
+/// unterminated record (mid-write interruption).
+fn truncate(line: &str, rng: &mut SimRng) -> String {
+    let boundaries: Vec<usize> = line
+        .char_indices()
+        .map(|(i, _)| i)
+        .filter(|&i| i > 0)
+        .collect();
+    if boundaries.is_empty() {
+        return String::new();
+    }
+    let cut = boundaries[rng.uniform_u64(0, boundaries.len() as u64 - 1) as usize];
+    line[..cut].to_string()
+}
+
+/// Bounded out-of-order delivery: each line may swap forward by at most
+/// `window` positions, so displacement stays local the way real
+/// interleaved shipments are.
+fn reorder(lines: &mut [String], window: usize, rng: &mut SimRng) {
+    for i in 0..lines.len() {
+        let hi = (i + window).min(lines.len().saturating_sub(1));
+        if hi > i {
+            let j = rng.uniform_u64(i as u64, hi as u64) as usize;
+            lines.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{SystemLogEntry, TestLogEntry, WorkloadTag};
+    use crate::trace::import_trace;
+    use btpan_faults::{SystemFault, UserFailure};
+
+    fn sample_repo(n: u64) -> Repository {
+        let repo = Repository::new();
+        for i in 0..n {
+            repo.store_test(TestLogEntry {
+                at: SimTime::from_secs(10 + i),
+                node: 1 + i % 6,
+                failure: UserFailure::PacketLoss,
+                workload: WorkloadTag::Random,
+                packet_type: Some("DM1".into()),
+                packets_sent_before: Some(i),
+                app: None,
+                distance_m: 5.0,
+                idle_before_s: None,
+            });
+            repo.store_system(SystemLogEntry::new(
+                SimTime::from_secs(10 + i),
+                0,
+                SystemFault::HciCommandTimeout,
+            ));
+        }
+        repo
+    }
+
+    #[test]
+    fn noop_config_is_identity() {
+        let repo = sample_repo(20);
+        let trace = export_trace(&repo);
+        let (out, stats) = inject(&trace, &ChaosConfig::none(7));
+        assert_eq!(out, trace);
+        assert_eq!(stats.damaged(), 0);
+        assert_eq!(stats.lines_in, stats.lines_out);
+        assert!(ChaosConfig::none(7).is_noop());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let trace = export_trace(&sample_repo(50));
+        let config = ChaosConfig {
+            corrupt_line_rate: 0.1,
+            truncate_line_rate: 0.1,
+            duplicate_rate: 0.1,
+            reorder_window: 3,
+            clock_skew_s: 2.0,
+            seed: 99,
+        };
+        let (a, sa) = inject(&trace, &config);
+        let (b, sb) = inject(&trace, &config);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = inject(&trace, &ChaosConfig { seed: 100, ..config });
+        assert_ne!(a, c, "different seeds must change the fault pattern");
+    }
+
+    #[test]
+    fn damaged_lines_fail_strict_and_quarantine_lenient() {
+        let trace = export_trace(&sample_repo(100));
+        let config = ChaosConfig {
+            corrupt_line_rate: 0.05,
+            truncate_line_rate: 0.05,
+            seed: 3,
+            ..ChaosConfig::default()
+        };
+        let (noisy, stats) = inject(&trace, &config);
+        assert!(stats.damaged() > 0, "200 lines at 10% must damage some");
+        assert!(import_trace(&noisy).is_err());
+        let (records, report) = import_trace_lenient(&noisy);
+        assert_eq!(report.quarantined.len(), stats.damaged());
+        assert_eq!(records.len() + report.quarantined.len(), stats.lines_out);
+    }
+
+    #[test]
+    fn duplicates_collapse_on_import() {
+        let repo = sample_repo(40);
+        let config = ChaosConfig {
+            duplicate_rate: 0.5,
+            seed: 11,
+            ..ChaosConfig::default()
+        };
+        let (rebuilt, report, stats) = ship_through_chaos(&repo, &config);
+        assert!(stats.duplicated > 0);
+        assert!(report.is_clean(), "duplication alone loses nothing");
+        assert_eq!(rebuilt.total_count(), repo.total_count());
+        assert_eq!(export_trace(&rebuilt), export_trace(&repo));
+    }
+
+    #[test]
+    fn reordering_is_repaired_by_lenient_import() {
+        let repo = sample_repo(40);
+        let config = ChaosConfig {
+            reorder_window: 5,
+            seed: 21,
+            ..ChaosConfig::default()
+        };
+        let trace = export_trace(&repo);
+        let (noisy, _) = inject(&trace, &config);
+        assert_ne!(noisy, trace, "window 5 over 80 lines must move something");
+        let (rebuilt, report, _) = ship_through_chaos(&repo, &config);
+        assert!(report.is_clean());
+        assert_eq!(export_trace(&rebuilt), trace);
+    }
+
+    #[test]
+    fn clock_skew_moves_timestamps_but_loses_nothing() {
+        let repo = sample_repo(30);
+        let config = ChaosConfig {
+            clock_skew_s: 3.0,
+            seed: 5,
+            ..ChaosConfig::default()
+        };
+        let (rebuilt, report, stats) = ship_through_chaos(&repo, &config);
+        assert!(stats.skewed > 0);
+        assert!(report.is_clean(), "skew changes values, not framing");
+        assert_eq!(rebuilt.total_count(), repo.total_count());
+        assert_ne!(export_trace(&rebuilt), export_trace(&repo));
+    }
+
+    #[test]
+    fn full_chaos_end_to_end_keeps_most_data() {
+        let repo = sample_repo(200);
+        let config = ChaosConfig {
+            corrupt_line_rate: 0.03,
+            truncate_line_rate: 0.02,
+            duplicate_rate: 0.1,
+            reorder_window: 4,
+            clock_skew_s: 1.0,
+            seed: 77,
+        };
+        let (rebuilt, report, stats) = ship_through_chaos(&repo, &config);
+        assert!(!report.is_clean());
+        assert_eq!(report.quarantined.len(), stats.damaged());
+        assert!(rebuilt.total_count() <= repo.total_count());
+        // 5% damage on 400 lines leaves the vast majority intact.
+        assert!(rebuilt.total_count() >= repo.total_count() * 8 / 10);
+        assert!(report.yield_fraction() > 0.8);
+    }
+}

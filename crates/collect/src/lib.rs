@@ -23,9 +23,16 @@
 //! 4. [`relate`]s user failures to the system errors sharing their
 //!    tuples, producing the error–failure relationship matrix (Table 2)
 //!    including NAP→PANU propagation evidence.
+//!
+//! Because the daemons ship over the same unreliable PAN they measure,
+//! the pipeline itself is a fault domain: [`trace`] provides the JSONL
+//! export/import path with both strict and lenient (skip-and-count)
+//! importers, and [`chaos`] deterministically injects transport faults
+//! (truncated/garbled lines, duplicated shipments, out-of-order
+//! delivery, clock skew) to exercise those defenses.
 
 pub mod analyzer;
-pub mod trace;
+pub mod chaos;
 pub mod coalesce;
 pub mod entry;
 pub mod logs;
@@ -33,8 +40,10 @@ pub mod merge;
 pub mod relate;
 pub mod repository;
 pub mod sensitivity;
+pub mod trace;
 
 pub use analyzer::LogAnalyzer;
+pub use chaos::{inject, ship_through_chaos, ChaosConfig, ChaosStats};
 pub use coalesce::{coalesce, coalesce_fixed_window, truncation_rate, Tuple};
 pub use entry::{LogRecord, RecordPayload, SystemLogEntry, TestLogEntry};
 pub use logs::{SystemLog, TestLog};
@@ -42,4 +51,7 @@ pub use merge::merge_records;
 pub use relate::{RelationshipMatrix, RelationshipObservation};
 pub use repository::Repository;
 pub use sensitivity::{detect_knee, SensitivityCurve};
-pub use trace::{export_trace, import_trace, repository_from_records};
+pub use trace::{
+    export_trace, import_trace, import_trace_lenient, repository_from_records, QuarantineReport,
+    TraceError,
+};

@@ -6,8 +6,9 @@
 //! thread-safe — the multi-seed campaign runner ships from worker
 //! threads — and hands out time-ordered merged views per node.
 
-use crate::entry::{LogRecord, NodeId, SystemLogEntry, TestLogEntry};
+use crate::entry::{LogRecord, NodeId, RecordPayload, SystemLogEntry, TestLogEntry};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -16,6 +17,9 @@ struct Inner {
     next_seq: u64,
     test_records: Vec<LogRecord>,
     system_records: Vec<LogRecord>,
+    /// Content fingerprints of records stored via [`Repository::store_record`]
+    /// (the shipment/import path), making re-delivery idempotent.
+    shipped_fingerprints: HashSet<String>,
 }
 
 /// The central repository of both failure-data levels.
@@ -50,6 +54,38 @@ impl Repository {
         inner.systems.push(entry);
     }
 
+    /// Stores a complete record as shipped/imported, preserving its
+    /// sequence number, so `export → import → export` reproduces the
+    /// trace byte for byte.
+    ///
+    /// Idempotent: re-delivering a record whose content (including
+    /// `seq`) was already stored through this path is a no-op, which
+    /// makes duplicated shipments harmless. Returns whether the record
+    /// was new. Records born in this repository via
+    /// [`store_test`](Repository::store_test) /
+    /// [`store_system`](Repository::store_system) are not affected —
+    /// two genuinely distinct events always have distinct sequence
+    /// numbers.
+    pub fn store_record(&self, record: LogRecord) -> bool {
+        let fingerprint = serde_json::to_string(&record).expect("record serializes");
+        let mut inner = self.inner.lock();
+        if !inner.shipped_fingerprints.insert(fingerprint) {
+            return false;
+        }
+        inner.next_seq = inner.next_seq.max(record.seq.saturating_add(1));
+        match &record.payload {
+            RecordPayload::Test(t) => {
+                inner.tests.push(t.clone());
+                inner.test_records.push(record);
+            }
+            RecordPayload::System(s) => {
+                inner.systems.push(s.clone());
+                inner.system_records.push(record);
+            }
+        }
+        true
+    }
+
     /// Number of user-level reports stored.
     pub fn test_count(&self) -> usize {
         self.inner.lock().tests.len()
@@ -74,6 +110,20 @@ impl Repository {
     /// Clones all system-level entries.
     pub fn systems(&self) -> Vec<SystemLogEntry> {
         self.inner.lock().systems.clone()
+    }
+
+    /// Every record of every node (both levels), sorted by
+    /// `(timestamp, seq)` — the canonical export order.
+    pub fn records(&self) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        let mut all: Vec<LogRecord> = inner
+            .test_records
+            .iter()
+            .chain(inner.system_records.iter())
+            .cloned()
+            .collect();
+        all.sort();
+        all
     }
 
     /// All records of `node` (both levels), unsorted.
@@ -203,6 +253,41 @@ mod tests {
         }
         assert_eq!(repo.test_count(), 1000);
         assert_eq!(repo.reporting_nodes().len(), 4);
+    }
+
+    #[test]
+    fn records_sorted_and_complete() {
+        let repo = Repository::new();
+        repo.store_test(t(1, 10));
+        repo.store_system(SystemLogEntry::new(
+            SimTime::from_secs(2),
+            0,
+            SystemFault::HciCommandTimeout,
+        ));
+        repo.store_test(t(2, 5));
+        let all = repo.records();
+        assert_eq!(all.len(), 3);
+        for w in all.windows(2) {
+            assert!((w[0].at, w[0].seq) < (w[1].at, w[1].seq));
+        }
+    }
+
+    #[test]
+    fn store_record_preserves_seq_and_dedups() {
+        let repo = Repository::new();
+        let record = crate::entry::LogRecord::from_test(7, t(1, 10));
+        assert!(repo.store_record(record.clone()));
+        assert!(!repo.store_record(record.clone()), "re-delivery must be a no-op");
+        assert_eq!(repo.test_count(), 1);
+        assert_eq!(repo.records()[0].seq, 7);
+        // Subsequent locally born records continue past the imported seq.
+        repo.store_test(t(2, 11));
+        assert_eq!(repo.records_of(2)[0].seq, 8);
+        // Same content under a different seq is a distinct record.
+        let mut other = record;
+        other.seq = 9;
+        assert!(repo.store_record(other));
+        assert_eq!(repo.test_count(), 3);
     }
 
     #[test]

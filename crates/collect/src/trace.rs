@@ -5,12 +5,28 @@
 //! campaign's repository serializes to a line-per-record JSONL trace
 //! that external tooling (or a later `btpan` session) can re-import and
 //! re-analyze without re-simulating.
+//!
+//! Import comes in two strictness levels:
+//!
+//! * [`import_trace`] — all-or-nothing, for traces that are supposed to
+//!   be pristine. It distinguishes a line that is *truncated* (the file
+//!   was cut mid-write — [`TraceError::TruncatedLine`]) from one that is
+//!   *malformed* (garbled content — [`TraceError::Malformed`]), because
+//!   the remedies differ: a truncated tail means re-shipping the end of
+//!   the log; a garbled middle means the transport corrupted data.
+//! * [`import_trace_lenient`] — skip-and-count, for traces that crossed
+//!   an unreliable collection pipeline (see [`crate::chaos`]). Bad
+//!   lines are quarantined with their line number and reason in a
+//!   [`QuarantineReport`] and the survivors are re-sorted into
+//!   canonical `(timestamp, seq)` order, so out-of-order delivery and
+//!   a bounded amount of corruption degrade coverage instead of
+//!   aborting analysis.
 
-use crate::entry::{LogRecord, RecordPayload};
+use crate::entry::LogRecord;
 use crate::repository::Repository;
 use std::fmt;
 
-/// Errors from trace parsing.
+/// Errors from strict trace parsing.
 #[derive(Debug)]
 pub enum TraceError {
     /// A line failed to parse as a record.
@@ -20,6 +36,12 @@ pub enum TraceError {
         /// The underlying serde error.
         source: serde_json::Error,
     },
+    /// A line ended mid-value: the trace was cut off while being
+    /// written or shipped (distinct from garbled content).
+    TruncatedLine {
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -27,6 +49,9 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Malformed { line, source } => {
                 write!(f, "malformed trace line {line}: {source}")
+            }
+            TraceError::TruncatedLine { line } => {
+                write!(f, "truncated trace line {line}: record cut off mid-write")
             }
         }
     }
@@ -36,39 +61,34 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Malformed { source, .. } => Some(source),
+            TraceError::TruncatedLine { .. } => None,
         }
     }
 }
 
 /// Serializes every record of a repository (both levels, time-sorted)
 /// into a JSONL string.
+///
+/// Sequence numbers are part of each line, so a re-import through
+/// [`Repository::store_record`] and a second export reproduce this
+/// output byte for byte — including records of system-only nodes such
+/// as the NAP, which carry their original repository sequence numbers
+/// rather than synthetic ones.
 pub fn export_trace(repo: &Repository) -> String {
-    let mut records: Vec<LogRecord> = Vec::new();
-    for node in repo.reporting_nodes() {
-        records.extend(repo.records_of(node));
-    }
-    // System-only nodes (the NAP) are not in reporting_nodes; pick their
-    // entries up from the full system dump.
-    let known: std::collections::BTreeSet<u64> = repo.reporting_nodes().into_iter().collect();
-    for (i, entry) in repo.systems().into_iter().enumerate() {
-        if !known.contains(&entry.node) {
-            records.push(LogRecord::from_system(u64::MAX - i as u64, entry));
-        }
-    }
-    records.sort();
     let mut out = String::new();
-    for r in &records {
-        out.push_str(&serde_json::to_string(r).expect("records serialize"));
+    for r in repo.records() {
+        out.push_str(&serde_json::to_string(&r).expect("records serialize"));
         out.push('\n');
     }
     out
 }
 
-/// Parses a JSONL trace back into records.
+/// Parses a JSONL trace back into records, all-or-nothing.
 ///
 /// # Errors
 ///
-/// [`TraceError::Malformed`] naming the first bad line.
+/// [`TraceError::TruncatedLine`] if a line ends mid-record, otherwise
+/// [`TraceError::Malformed`]; both name the first bad line.
 pub fn import_trace(trace: &str) -> Result<Vec<LogRecord>, TraceError> {
     let mut records = Vec::new();
     for (i, line) in trace.lines().enumerate() {
@@ -76,9 +96,13 @@ pub fn import_trace(trace: &str) -> Result<Vec<LogRecord>, TraceError> {
             continue;
         }
         let record: LogRecord = serde_json::from_str(line).map_err(|source| {
-            TraceError::Malformed {
-                line: i + 1,
-                source,
+            if source.is_eof() {
+                TraceError::TruncatedLine { line: i + 1 }
+            } else {
+                TraceError::Malformed {
+                    line: i + 1,
+                    source,
+                }
             }
         })?;
         records.push(record);
@@ -86,14 +110,84 @@ pub fn import_trace(trace: &str) -> Result<Vec<LogRecord>, TraceError> {
     Ok(records)
 }
 
+/// What a lenient import refused to take.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Non-blank lines inspected.
+    pub total_lines: usize,
+    /// Lines successfully imported.
+    pub imported: usize,
+    /// `(1-based line, reason)` for every rejected line.
+    pub quarantined: Vec<(usize, String)>,
+}
+
+impl QuarantineReport {
+    /// True when nothing was rejected.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Fraction of inspected lines that imported (1.0 for an empty
+    /// trace).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.total_lines == 0 {
+            return 1.0;
+        }
+        self.imported as f64 / self.total_lines as f64
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} lines imported, {} quarantined",
+            self.imported,
+            self.total_lines,
+            self.quarantined.len()
+        )
+    }
+}
+
+/// Parses a JSONL trace, skipping and counting undecodable lines
+/// instead of failing, and re-sorting the survivors into canonical
+/// `(timestamp, seq)` order.
+pub fn import_trace_lenient(trace: &str) -> (Vec<LogRecord>, QuarantineReport) {
+    let mut records = Vec::new();
+    let mut report = QuarantineReport::default();
+    for (i, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.total_lines += 1;
+        match serde_json::from_str::<LogRecord>(line) {
+            Ok(record) => {
+                report.imported += 1;
+                records.push(record);
+            }
+            Err(e) => {
+                let reason = if e.is_eof() {
+                    "truncated record".to_string()
+                } else {
+                    format!("malformed record: {e}")
+                };
+                report.quarantined.push((i + 1, reason));
+            }
+        }
+    }
+    records.sort();
+    (records, report)
+}
+
 /// Rebuilds a repository from imported records.
+///
+/// Uses the seq-preserving [`Repository::store_record`] path, so
+/// duplicated records collapse to one copy and a re-export reproduces
+/// the original trace.
 pub fn repository_from_records(records: &[LogRecord]) -> Repository {
     let repo = Repository::new();
     for r in records {
-        match &r.payload {
-            RecordPayload::Test(t) => repo.store_test(t.clone()),
-            RecordPayload::System(s) => repo.store_system(s.clone()),
-        }
+        repo.store_record(r.clone());
     }
     repo
 }
@@ -146,6 +240,16 @@ mod tests {
     }
 
     #[test]
+    fn reexport_is_byte_identical() {
+        // The system-only NAP node used to be re-exported with a
+        // synthetic seq, so export→import→export drifted. It must not.
+        let repo = sample_repo();
+        let trace = export_trace(&repo);
+        let rebuilt = repository_from_records(&import_trace(&trace).unwrap());
+        assert_eq!(export_trace(&rebuilt), trace);
+    }
+
+    #[test]
     fn trace_is_time_sorted() {
         let trace = export_trace(&sample_repo());
         let records = import_trace(&trace).unwrap();
@@ -166,9 +270,47 @@ mod tests {
     }
 
     #[test]
+    fn truncated_line_distinguished_from_malformed() {
+        let repo = sample_repo();
+        let full = export_trace(&repo);
+        let one_line = full.lines().next().unwrap();
+        let cut = &one_line[..one_line.len() / 2];
+        match import_trace(cut).unwrap_err() {
+            TraceError::TruncatedLine { line } => assert_eq!(line, 1),
+            other => panic!("expected TruncatedLine, got {other}"),
+        }
+        match import_trace("{\"at\": ???}").unwrap_err() {
+            TraceError::Malformed { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected Malformed, got {other}"),
+        }
+    }
+
+    #[test]
     fn blank_lines_skipped() {
         let repo = sample_repo();
         let trace = format!("\n{}\n\n", export_trace(&repo));
         assert_eq!(import_trace(&trace).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn lenient_import_quarantines_and_sorts() {
+        let repo = sample_repo();
+        let trace = export_trace(&repo);
+        let mut lines: Vec<&str> = trace.lines().collect();
+        lines.reverse(); // out-of-order delivery
+        let mut shuffled = lines.join("\n");
+        shuffled.push_str("\ngarbage line\n");
+        let (records, report) = import_trace_lenient(&shuffled);
+        assert_eq!(records.len(), 3);
+        assert_eq!(report.total_lines, 4);
+        assert_eq!(report.imported, 3);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, 4);
+        assert!((report.yield_fraction() - 0.75).abs() < 1e-12);
+        for w in records.windows(2) {
+            assert!((w[0].at, w[0].seq) < (w[1].at, w[1].seq));
+        }
+        assert!(!report.is_clean());
+        assert_eq!(report.to_string(), "3/4 lines imported, 1 quarantined");
     }
 }

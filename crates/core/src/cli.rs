@@ -5,8 +5,11 @@
 //! * `campaign` — run one campaign and print its headline numbers;
 //!   `--export PATH` writes the collected logs as a JSONL failure trace;
 //! * `analyze PATH` — import a trace and run merge-and-coalesce on it,
-//!   printing the error–failure relationship summary;
+//!   printing the error–failure relationship summary; `--lenient-import`
+//!   quarantines undecodable lines instead of aborting;
 //! * `table4` — the four-policy dependability comparison;
+//!   `--max-retries` / `--seed-timeout` run it under the fault-tolerant
+//!   supervisor and report coverage-widened confidence intervals;
 //! * `markov` — fit and print the analytic availability model.
 //!
 //! All parsing and execution lives here (returning the output as a
@@ -15,8 +18,11 @@
 use crate::campaign::{Campaign, CampaignConfig};
 use crate::experiment::{self, Scale};
 use crate::machine::NAP_NODE_ID;
+use crate::supervisor::SupervisorConfig;
 use btpan_collect::relate::RelationshipMatrix;
-use btpan_collect::trace::{export_trace, import_trace, repository_from_records};
+use btpan_collect::trace::{
+    export_trace, import_trace, import_trace_lenient, repository_from_records,
+};
 use btpan_faults::{CauseSite, SystemComponent, UserFailure};
 use btpan_recovery::RecoveryPolicy;
 use btpan_sim::time::SimDuration;
@@ -58,8 +64,8 @@ pub const USAGE: &str = "btpan — Bluetooth PAN failure-data toolbench
 USAGE:
   btpan campaign [--workload random|realistic] [--policy reboot|app-reboot|siras|siras-masking]
                  [--hours H] [--seed S] [--export PATH]
-  btpan analyze PATH [--window SECS]
-  btpan table4 [--seeds N] [--hours H]
+  btpan analyze PATH [--window SECS] [--lenient-import]
+  btpan table4 [--seeds N] [--hours H] [--max-retries N] [--seed-timeout SECS]
   btpan markov [--seeds N] [--hours H]
   btpan model
   btpan help";
@@ -69,6 +75,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
@@ -166,7 +176,19 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage("analyze needs a trace path".into()))?;
     let window = parse_u64(&args[1..], "--window", 330)?;
     let text = std::fs::read_to_string(path)?;
-    let records = import_trace(&text).map_err(CliError::Trace)?;
+    let mut quarantine_note = String::new();
+    let records = if has_flag(args, "--lenient-import") {
+        let (records, report) = import_trace_lenient(&text);
+        if !report.is_clean() {
+            quarantine_note = format!("quarantine: {report}\n");
+            for (line, reason) in &report.quarantined {
+                quarantine_note.push_str(&format!("  line {line}: {reason}\n"));
+            }
+        }
+        records
+    } else {
+        import_trace(&text).map_err(CliError::Trace)?
+    };
     let repo = repository_from_records(&records);
     let nap_records = repo.system_records_of(NAP_NODE_ID);
     let streams: Vec<_> = repo
@@ -181,7 +203,7 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         SimDuration::from_secs(window),
     );
     let mut out = format!(
-        "{} records, {} related failures (window {window} s)\n",
+        "{} records, {} related failures (window {window} s)\n{quarantine_note}",
         records.len(),
         m.grand_total()
     );
@@ -211,15 +233,57 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_table4(args: &[String]) -> Result<String, CliError> {
     let scale = scale_from(args)?;
-    let report = experiment::table4(&scale);
+    let max_retries = flag_value(args, "--max-retries")
+        .map(|v| {
+            v.parse::<u32>()
+                .map_err(|_| CliError::Usage(format!("--max-retries expects an integer, got `{v}`")))
+        })
+        .transpose()?;
+    let seed_timeout = flag_value(args, "--seed-timeout")
+        .map(|v| {
+            v.parse::<u64>().map(std::time::Duration::from_secs).map_err(|_| {
+                CliError::Usage(format!("--seed-timeout expects whole seconds, got `{v}`"))
+            })
+        })
+        .transpose()?;
+    if max_retries.is_none() && seed_timeout.is_none() {
+        let report = experiment::table4(&scale);
+        let mut out = format!(
+            "{:<26} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
+            "scenario", "MTTF", "MTTR", "avail", "cov%", "mask%"
+        );
+        for (label, m) in &report.scenarios {
+            out.push_str(&format!(
+                "{label:<26} {:>9.1} {:>9.1} {:>7.3} {:>7.1} {:>7.1}\n",
+                m.mttf_s, m.mttr_s, m.availability, m.coverage_percent, m.masking_percent
+            ));
+        }
+        return Ok(out);
+    }
+    let supervisor = SupervisorConfig {
+        max_retries: max_retries.unwrap_or(0),
+        seed_timeout,
+        campaign_seed: scale.seeds.first().copied().unwrap_or(0),
+        ..SupervisorConfig::default()
+    };
+    let supervised = experiment::table4_supervised(&scale, &supervisor);
     let mut out = format!(
-        "{:<26} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
-        "scenario", "MTTF", "MTTR", "avail", "cov%", "mask%"
+        "supervised run: {} attempts, min seed coverage {:.2}\n",
+        supervised.attempts,
+        supervised.min_coverage()
     );
-    for (label, m) in &report.scenarios {
+    out.push_str(&format!(
+        "{:<26} {:>16} {:>9} {:>7} {:>9}\n",
+        "scenario", "MTTF (95% CI)", "MTTR", "avail", "coverage"
+    ));
+    for s in &supervised.scenarios {
         out.push_str(&format!(
-            "{label:<26} {:>9.1} {:>9.1} {:>7.3} {:>7.1} {:>7.1}\n",
-            m.mttf_s, m.mttr_s, m.availability, m.coverage_percent, m.masking_percent
+            "{:<26} {:>16} {:>9.1} {:>7.3} {:>9.2}\n",
+            s.label,
+            s.mttf_ci.to_string(),
+            s.measurement.mttr_s,
+            s.measurement.availability,
+            s.coverage
         ));
     }
     Ok(out)
@@ -348,6 +412,51 @@ mod tests {
         let out = run(&args(&["analyze", path_s])).unwrap();
         assert!(out.contains("related failures"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_import_quarantines_corrupt_trace() {
+        let path = std::env::temp_dir().join("btpan_cli_lenient_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "6", "--seed", "9", "--export", path_s,
+        ]))
+        .unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(0, "!!not a record!!\n");
+        std::fs::write(&path, &text).unwrap();
+        // Strict import aborts...
+        let err = run(&args(&["analyze", path_s])).unwrap_err();
+        assert!(matches!(err, CliError::Trace(_)));
+        // ...lenient import quarantines and proceeds.
+        let out = run(&args(&["analyze", path_s, "--lenient-import"])).unwrap();
+        assert!(out.contains("quarantine:"), "{out}");
+        assert!(out.contains("line 1:"), "{out}");
+        assert!(out.contains("related failures"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table4_supervised_flags() {
+        let out = run(&args(&[
+            "table4",
+            "--seeds",
+            "1",
+            "--hours",
+            "2",
+            "--max-retries",
+            "1",
+            "--seed-timeout",
+            "600",
+        ]))
+        .unwrap();
+        assert!(out.contains("supervised run"), "{out}");
+        assert!(out.contains("min seed coverage 1.00"), "{out}");
+        assert!(out.contains("95% CI"), "{out}");
+        let err = run(&args(&["table4", "--max-retries", "many"])).unwrap_err();
+        assert!(err.to_string().contains("--max-retries"));
+        let err = run(&args(&["table4", "--seed-timeout", "1.5"])).unwrap_err();
+        assert!(err.to_string().contains("--seed-timeout"));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`experiment`] — one entry point per paper artifact (Table 2–4,
 //!   Fig. 2–4, section-6 findings), each returning both the measured
 //!   values and the paper references;
-//! * [`runner`] — the multi-seed parallel campaign runner;
+//! * [`runner`] — the strict multi-seed parallel campaign runner;
+//! * [`supervisor`] — its fault-tolerant core: panic-isolated workers,
+//!   bounded retry with deterministic backoff, per-seed wall-clock
+//!   budgets, and coverage accounting for partial campaigns;
 //! * [`cli`] — the `btpan` command-line tool (campaign / analyze /
 //!   table4 / markov).
 
@@ -27,11 +30,13 @@ pub mod cli;
 pub mod experiment;
 pub mod machine;
 pub mod runner;
+pub mod supervisor;
 pub mod testbed;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult};
 pub use machine::{paper_machines, MachineRole};
 pub use runner::run_seeds;
+pub use supervisor::{run_supervised, SeedVerdict, SupervisedOutcome, SupervisorConfig};
 pub use testbed::Testbed;
 
 /// Convenient re-exports of the whole stack for downstream users.

@@ -1,0 +1,464 @@
+//! Fault-tolerant campaign supervisor.
+//!
+//! The paper's field campaign ran unattended for 18 months, so losing a
+//! night of collection to one wedged node was a real cost (§3 of the
+//! paper describes the operators restarting hosts by hand). The
+//! simulated campaign has the same failure mode in miniature: one
+//! panicking or runaway seed in [`crate::runner::run_seeds`]'s worker
+//! pool used to abort the whole multi-seed run and discard every
+//! completed result.
+//!
+//! [`run_supervised`] replaces that all-or-nothing pool with a
+//! supervisor in the Erlang sense:
+//!
+//! * each seed's work runs under `catch_unwind`, so a panic is isolated
+//!   to that seed and recorded as a [`SeedVerdict::Panicked`];
+//! * panicked seeds are retried up to [`SupervisorConfig::max_retries`]
+//!   times with exponential backoff and deterministic jitter (derived
+//!   from the campaign seed, never from the wall clock, keeping
+//!   reruns reproducible);
+//! * each seed has an optional wall-clock budget
+//!   ([`SupervisorConfig::seed_timeout`]); a seed that exceeds it is
+//!   recorded as [`SeedVerdict::TimedOut`] and its (late) result is
+//!   discarded rather than silently pooled;
+//! * the survivors are aggregated into a [`SupervisedOutcome`] whose
+//!   [`coverage`](SupervisedOutcome::coverage) fraction feeds
+//!   `btpan-analysis`, which widens confidence intervals instead of
+//!   pretending the lost seeds never existed.
+//!
+//! The deadline is cooperative: worker threads cannot be killed safely,
+//! so an overrunning seed is detected when its closure returns and the
+//! result is then dropped. The budget bounds what enters the pooled
+//! statistics, not the worker's lifetime.
+
+use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What happened to one seed under supervision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedVerdict {
+    /// Completed within budget on the first attempt.
+    Ok,
+    /// Completed within budget after this many retries.
+    Retried(u32),
+    /// Exceeded the per-seed wall-clock budget; result discarded.
+    TimedOut,
+    /// Panicked on every allowed attempt; carries the final panic
+    /// message.
+    Panicked(String),
+}
+
+impl SeedVerdict {
+    /// True when the seed contributed a result to the outcome.
+    pub fn completed(&self) -> bool {
+        matches!(self, SeedVerdict::Ok | SeedVerdict::Retried(_))
+    }
+}
+
+/// Supervision policy for a multi-seed run.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Retries allowed per seed after a panic (0 = fail fast, the
+    /// historical `run_seeds` behaviour).
+    pub max_retries: u32,
+    /// Per-seed wall-clock budget; `None` = unbounded.
+    pub seed_timeout: Option<Duration>,
+    /// Base backoff before the first retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Campaign-level seed; the only entropy source for retry jitter,
+    /// so a rerun with the same seeds backs off identically.
+    pub campaign_seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_retries: 0,
+            seed_timeout: None,
+            backoff_base: Duration::from_millis(25),
+            campaign_seed: 0,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Backoff before retry attempt `attempt` (1-based) of `seed`:
+    /// exponential with a deterministic jitter in `[0, 100%)` of the
+    /// step, derived from `(campaign_seed, seed, attempt)`.
+    fn backoff(&self, seed: u64, attempt: u32) -> Duration {
+        let step = self
+            .backoff_base
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX));
+        let jitter_unit =
+            splitmix64(self.campaign_seed ^ seed.rotate_left(17) ^ u64::from(attempt)) as f64
+                / u64::MAX as f64;
+        step + Duration::from_secs_f64(step.as_secs_f64() * jitter_unit)
+    }
+}
+
+/// SplitMix64 finalizer; cheap, stateless, well-mixed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Aggregated result of a supervised multi-seed run.
+///
+/// `seeds`, `results` and `verdicts` are parallel vectors in the input
+/// seed order; `results[i]` is `None` exactly when `verdicts[i]` did
+/// not complete.
+#[derive(Debug)]
+pub struct SupervisedOutcome<T> {
+    /// The seeds, in input order.
+    pub seeds: Vec<u64>,
+    /// Per-seed results; `None` for timed-out / panicked seeds.
+    pub results: Vec<Option<T>>,
+    /// Per-seed verdicts.
+    pub verdicts: Vec<SeedVerdict>,
+    /// Total work attempts executed, retries included.
+    pub attempts: u64,
+}
+
+impl<T> SupervisedOutcome<T> {
+    /// Fraction of seeds that contributed a result (1.0 when nothing
+    /// failed; 1.0 for an empty seed list, which covers everything it
+    /// promised).
+    pub fn coverage(&self) -> f64 {
+        if self.seeds.is_empty() {
+            return 1.0;
+        }
+        let done = self.results.iter().filter(|r| r.is_some()).count();
+        done as f64 / self.seeds.len() as f64
+    }
+
+    /// `(seed, result)` for every completed seed, in input order.
+    pub fn completed(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.seeds
+            .iter()
+            .zip(&self.results)
+            .filter_map(|(&s, r)| r.as_ref().map(|r| (s, r)))
+    }
+
+    /// Consumes the outcome, returning completed results in input
+    /// order.
+    pub fn into_results(self) -> Vec<T> {
+        self.results.into_iter().flatten().collect()
+    }
+
+    /// The verdict for `seed`, if that seed was part of the run.
+    pub fn verdict_of(&self, seed: u64) -> Option<&SeedVerdict> {
+        self.seeds
+            .iter()
+            .position(|&s| s == seed)
+            .map(|i| &self.verdicts[i])
+    }
+}
+
+/// One unit of work queued to the pool.
+#[derive(Debug)]
+struct Job {
+    index: usize,
+    seed: u64,
+    /// 0 = first try; n = nth retry.
+    attempt: u32,
+    /// Backoff to sleep before running (retries only).
+    delay: Duration,
+}
+
+/// What a worker reports back.
+enum Event<T> {
+    Done {
+        index: usize,
+        attempt: u32,
+        elapsed: Duration,
+        result: T,
+    },
+    Panicked {
+        index: usize,
+        attempt: u32,
+        elapsed: Duration,
+        message: String,
+    },
+}
+
+/// Runs `work(seed)` for every seed on a thread pool with panic
+/// isolation, bounded retry, and per-seed wall-clock budgets.
+///
+/// Results come back in input-seed order regardless of scheduling, so
+/// for a fixed `work` the outcome's `results` content is deterministic
+/// (verdicts can differ only where wall-clock budgets race real time).
+pub fn run_supervised<T, F>(seeds: &[u64], config: &SupervisorConfig, work: F) -> SupervisedOutcome<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Send + Sync,
+{
+    let n = seeds.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut verdicts: Vec<SeedVerdict> = vec![SeedVerdict::Ok; n];
+    let mut attempts: u64 = 0;
+
+    if n == 0 {
+        return SupervisedOutcome {
+            seeds: Vec::new(),
+            results,
+            verdicts,
+            attempts,
+        };
+    }
+
+    let workers = thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    let (job_tx, job_rx) = channel::unbounded::<Job>();
+    let (event_tx, event_rx) = channel::unbounded::<Event<T>>();
+
+    for (index, &seed) in seeds.iter().enumerate() {
+        job_tx
+            .send(Job {
+                index,
+                seed,
+                attempt: 0,
+                delay: Duration::ZERO,
+            })
+            .expect("job queue open");
+    }
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let event_tx = event_tx.clone();
+            let work = &work;
+            scope.spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    if !job.delay.is_zero() {
+                        thread::sleep(job.delay);
+                    }
+                    let seed = job.seed;
+                    let start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(seed)));
+                    let elapsed = start.elapsed();
+                    let event = match outcome {
+                        Ok(result) => Event::Done {
+                            index: job.index,
+                            attempt: job.attempt,
+                            elapsed,
+                            result,
+                        },
+                        Err(payload) => Event::Panicked {
+                            index: job.index,
+                            attempt: job.attempt,
+                            elapsed,
+                            message: panic_message(payload.as_ref()),
+                        },
+                    };
+                    if event_tx.send(event).is_err() {
+                        // Coordinator has already concluded; nothing
+                        // left to report.
+                        break;
+                    }
+                }
+            });
+        }
+        drop(event_tx);
+
+        // Coordinator: runs on the scope's owning thread so retries can
+        // be enqueued while workers are still draining the pool.
+        let mut pending = n;
+        while pending > 0 {
+            let event = event_rx.recv().expect("workers alive while jobs pending");
+            attempts += 1;
+            match event {
+                Event::Done {
+                    index,
+                    attempt,
+                    elapsed,
+                    result,
+                } => {
+                    pending -= 1;
+                    if over_budget(config, elapsed) {
+                        verdicts[index] = SeedVerdict::TimedOut;
+                    } else {
+                        results[index] = Some(result);
+                        verdicts[index] = if attempt == 0 {
+                            SeedVerdict::Ok
+                        } else {
+                            SeedVerdict::Retried(attempt)
+                        };
+                    }
+                }
+                Event::Panicked {
+                    index,
+                    attempt,
+                    elapsed,
+                    message,
+                } => {
+                    // A seed that blew its budget is a timeout even if
+                    // it also panicked on the way out; budget overruns
+                    // are not retried.
+                    if over_budget(config, elapsed) {
+                        pending -= 1;
+                        verdicts[index] = SeedVerdict::TimedOut;
+                    } else if attempt < config.max_retries {
+                        let next = attempt + 1;
+                        let seed = seeds[index];
+                        job_tx
+                            .send(Job {
+                                index,
+                                seed,
+                                attempt: next,
+                                delay: config.backoff(seed, next),
+                            })
+                            .expect("job queue open");
+                    } else {
+                        pending -= 1;
+                        verdicts[index] = SeedVerdict::Panicked(message);
+                    }
+                }
+            }
+        }
+        // All verdicts in: close the queue so idle workers exit.
+        drop(job_tx);
+    });
+
+    SupervisedOutcome {
+        seeds: seeds.to_vec(),
+        results,
+        verdicts,
+        attempts,
+    }
+}
+
+fn over_budget(config: &SupervisorConfig, elapsed: Duration) -> bool {
+    config.seed_timeout.is_some_and(|budget| elapsed > budget)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_ok_full_coverage() {
+        let out = run_supervised(&[10, 20, 30], &cfg(), |s| s * 2);
+        assert_eq!(out.results, vec![Some(20), Some(40), Some(60)]);
+        assert!(out.verdicts.iter().all(|v| *v == SeedVerdict::Ok));
+        assert_eq!(out.coverage(), 1.0);
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_reported() {
+        let out = run_supervised(&[1, 2, 3], &cfg(), |s| {
+            assert!(s != 2, "seed two explodes");
+            s
+        });
+        assert_eq!(out.results, vec![Some(1), None, Some(3)]);
+        match &out.verdicts[1] {
+            SeedVerdict::Panicked(msg) => assert!(msg.contains("seed two explodes"), "{msg}"),
+            v => panic!("expected panic verdict, got {v:?}"),
+        }
+        assert!((out.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_panic_retries_to_success() {
+        let tries = AtomicU32::new(0);
+        let config = SupervisorConfig {
+            max_retries: 2,
+            ..cfg()
+        };
+        let out = run_supervised(&[7], &config, |s| {
+            if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky first attempt");
+            }
+            s
+        });
+        assert_eq!(out.results, vec![Some(7)]);
+        assert_eq!(out.verdicts[0], SeedVerdict::Retried(1));
+        assert_eq!(out.attempts, 2);
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries() {
+        let config = SupervisorConfig {
+            max_retries: 2,
+            ..cfg()
+        };
+        let out = run_supervised(&[7], &config, |_| -> u64 { panic!("always") });
+        assert_eq!(out.results, vec![None]);
+        assert_eq!(out.verdicts[0], SeedVerdict::Panicked("always".to_string()));
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn deadline_overrun_discards_result() {
+        let config = SupervisorConfig {
+            seed_timeout: Some(Duration::from_millis(20)),
+            max_retries: 3,
+            ..cfg()
+        };
+        let out = run_supervised(&[5, 6], &config, |s| {
+            if s == 6 {
+                thread::sleep(Duration::from_millis(120));
+            }
+            s
+        });
+        assert_eq!(out.results, vec![Some(5), None]);
+        assert_eq!(out.verdicts[1], SeedVerdict::TimedOut);
+        // Timeouts are not retried.
+        assert_eq!(out.attempts, 2);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone() {
+        let config = SupervisorConfig {
+            campaign_seed: 99,
+            backoff_base: Duration::from_millis(10),
+            ..SupervisorConfig::default()
+        };
+        let a1 = config.backoff(5, 1);
+        let a1_again = config.backoff(5, 1);
+        assert_eq!(a1, a1_again, "jitter must be reproducible");
+        // Steps double: attempt 2's floor (20ms) is above attempt 1's
+        // ceiling (20ms) only in expectation, but the floor of each
+        // attempt grows strictly.
+        assert!(config.backoff(5, 2) >= Duration::from_millis(20));
+        assert!(a1 >= Duration::from_millis(10) && a1 < Duration::from_millis(20));
+        // Different seeds jitter differently (with overwhelming odds).
+        assert_ne!(config.backoff(5, 1), config.backoff(6, 1));
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let out = run_supervised(&[], &cfg(), |s| s);
+        assert!(out.results.is_empty());
+        assert_eq!(out.coverage(), 1.0);
+    }
+
+    #[test]
+    fn verdict_lookup_by_seed() {
+        let out = run_supervised(&[11, 22], &cfg(), |s| s);
+        assert_eq!(out.verdict_of(22), Some(&SeedVerdict::Ok));
+        assert_eq!(out.verdict_of(33), None);
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, every test in the workspace, and clippy
+# with warnings denied. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --release --workspace
+cargo clippy --release --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the benches compiling and runnable without the statistics
+//! engine: each benchmark runs its closure for a handful of samples and
+//! prints the mean wall-clock time per iteration. `--test` mode (what
+//! `cargo test` passes to `harness = false` bench targets) runs each
+//! benchmark once, so the test suite stays fast.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness=false targets;
+        // anything else (notably `cargo test`) gets the quick
+        // run-once-and-check mode, like real criterion.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 10,
+            test_mode: !bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(&name.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, sample_size: usize, mut f: F) {
+        let (samples, iters) = if self.test_mode { (1, 1) } else { (sample_size, 1) };
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += iters;
+        }
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            let per_iter = total.as_nanos() / u128::from(total_iters.max(1));
+            println!("{name}: {} ns/iter (n={total_iters})", per_iter);
+        }
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function list, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.sample_size(2).bench_function("f", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no crates registry, so this vendors exactly
+//! what `btpan-sim` consumes: [`rngs::SmallRng`], the
+//! [`RngCore`]/[`SeedableRng`]/[`Rng`] traits, and integer `gen_range`.
+//!
+//! **Bit-exactness**: `SmallRng` reproduces rand 0.8 on 64-bit targets —
+//! xoshiro256++ with the SplitMix64 `seed_from_u64` expansion and the
+//! widening-multiply rejection sampler for `gen_range` — so campaign
+//! streams keep the same values the original dependency produced.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (infallible here).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, fallibly.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator seedable from fixed state.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` (SplitMix64 expansion, matching
+    /// rand 0.8's xoshiro implementation).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod range {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range suitable for [`super::Rng::gen_range`]. Sealed; only the
+    /// integer ranges btpan uses are implemented.
+    pub trait SampleRange {
+        /// The sampled value type.
+        type Output;
+        /// Draws a uniform sample from the range.
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    /// rand 0.8's `sample_single_inclusive` for `u64`: widening multiply
+    /// with zone rejection (unbiased).
+    fn sample_u64_inclusive<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+        assert!(low <= high, "gen_range: empty range");
+        let range = high.wrapping_sub(low).wrapping_add(1);
+        if range == 0 {
+            // The full u64 domain.
+            return rng.next_u64();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let wide = u128::from(v) * u128::from(range);
+            let hi = (wide >> 64) as u64;
+            let lo = wide as u64;
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+
+    impl SampleRange for RangeInclusive<u64> {
+        type Output = u64;
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+            sample_u64_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    impl SampleRange for Range<u64> {
+        type Output = u64;
+        fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            sample_u64_inclusive(self.start, self.end - 1, rng)
+        }
+    }
+}
+
+pub use range::SampleRange;
+
+/// Convenience extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++, bit-exact with rand 0.8's
+    /// `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // All-zero state is a fixed point; nudge it (matches
+                // xoshiro's documented requirement, unreachable via
+                // seed_from_u64).
+                s[0] = 1;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = rem.len();
+                rem.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Pins the seed-42 stream of this xoshiro256++ implementation
+    /// (SplitMix64-expanded seed, as rand 0.8 documents for `SmallRng`
+    /// on 64-bit targets). Guards campaign reproducibility across
+    /// refactors: any change to these values silently re-rolls every
+    /// recorded experiment.
+    #[test]
+    fn seed_stream_is_stable() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                15021278609987233951,
+                5881210131331364753,
+                18149643915985481100,
+                12933668939759105464
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_inclusive_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..=9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(rng.gen_range(5u64..=5), 5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde models a generic data format; this vendored stand-in
+//! collapses the data model to a JSON [`Value`] tree, which is the only
+//! format the workspace serializes to (`serde_json` JSONL traces and
+//! experiment reports). The derive macros generate impls of these
+//! simplified traits with the same external JSON representation real
+//! serde produces (externally tagged enums, newtype transparency,
+//! `Option` ↔ `null`/absent), so existing traces stay readable.
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+    /// 1-based line/column of a parse error, when known.
+    pos: Option<(usize, usize)>,
+    eof: bool,
+}
+
+impl Error {
+    /// Creates an error with a free-form message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+            pos: None,
+            eof: false,
+        }
+    }
+
+    /// Creates a parse error at `line`/`column` (1-based).
+    pub fn syntax(msg: impl fmt::Display, line: usize, column: usize) -> Self {
+        Error {
+            msg: msg.to_string(),
+            pos: Some((line, column)),
+            eof: false,
+        }
+    }
+
+    /// Creates an unexpected-end-of-input error at `line`/`column`.
+    pub fn eof(line: usize, column: usize) -> Self {
+        Error {
+            msg: "unexpected end of JSON input".to_string(),
+            pos: Some((line, column)),
+            eof: true,
+        }
+    }
+
+    /// True when the input ended mid-value (truncation) rather than
+    /// containing malformed syntax. Mirrors `serde_json::Error::is_eof`.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Line of a parse error (1-based; 0 when not a parse error),
+    /// mirroring `serde_json::Error::line`.
+    pub fn line(&self) -> usize {
+        self.pos.map_or(0, |(l, _)| l)
+    }
+
+    /// Column of a parse error (1-based; 0 when not a parse error).
+    pub fn column(&self) -> usize {
+        self.pos.map_or(0, |(_, c)| c)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some((line, column)) => write!(f, "{} at line {line} column {column}", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value serializable to the JSON data model.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A value reconstructible from the JSON data model.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde (`for<'de> Deserialize<'de>` bounds in downstream code); this
+/// facade always deserializes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match `Self`'s shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value used when a struct field is absent entirely
+    /// (`None` = absence is an error; `Option` overrides this).
+    #[doc(hidden)]
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derive-support helpers (referenced by generated code).
+// ---------------------------------------------------------------------
+
+/// Looks up struct field `name` in `value`, deserializing it, honouring
+/// absence semantics (`Option` fields tolerate a missing key).
+#[doc(hidden)]
+pub fn field<T: for<'a> Deserialize<'a>>(value: &Value, name: &str, ty: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}"))),
+        None => T::absent().ok_or_else(|| Error::custom(format!("missing field `{name}` in `{ty}`"))),
+    }
+}
+
+/// Splits an externally tagged enum value `{"Variant": inner}` into its
+/// tag and payload.
+#[doc(hidden)]
+pub fn variant<'v>(value: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), Error> {
+    match value {
+        Value::Object(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), &entries[0].1))
+        }
+        _ => Err(Error::custom(format!(
+            "expected externally tagged `{ty}` variant object"
+        ))),
+    }
+}
+
+/// Element `i` of a tuple-shaped array value.
+#[doc(hidden)]
+pub fn element<T: for<'a> Deserialize<'a>>(value: &Value, i: usize, ty: &str) -> Result<T, Error> {
+    match value {
+        Value::Array(items) => items
+            .get(i)
+            .ok_or_else(|| Error::custom(format!("`{ty}` tuple too short: no element {i}")))
+            .and_then(T::from_value),
+        _ => Err(Error::custom(format!("expected array for `{ty}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impls for primitives and std containers.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(u64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U64(*self as u64))
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = value.as_u64().ok_or_else(|| Error::custom("expected usize"))?;
+        usize::try_from(n).map_err(|_| Error::custom("out of range for usize"))
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(i64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items).map_err(|v| {
+            Error::custom(format!("expected array of length {N}, got {}", v.len()))
+        })
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<'de, A: for<'a> Deserialize<'a>, B: for<'a> Deserialize<'a>> Deserialize<'de> for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok((element(value, 0, "tuple")?, element(value, 1, "tuple")?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+    C: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok((
+            element(value, 0, "tuple")?,
+            element(value, 1, "tuple")?,
+            element(value, 2, "tuple")?,
+        ))
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // JSON object keys are strings; like serde_json, string-like
+        // and integer keys (incl. unit enum variants) are accepted.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::String(s) => s,
+                        Value::Number(n) => Value::Number(n).to_string(),
+                        other => panic!("map key must serialize to a string or integer, got {other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    // Keys arrive as JSON strings; retry integer-typed
+                    // keys through their numeric form.
+                    let key = K::from_value(&Value::String(k.clone())).or_else(|e| {
+                        match k.parse::<u64>() {
+                            Ok(n) => K::from_value(&Value::Number(Number::U64(n))),
+                            Err(_) => match k.parse::<i64>() {
+                                Ok(n) => K::from_value(&Value::Number(Number::I64(n))),
+                                Err(_) => Err(e),
+                            },
+                        }
+                    })?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            _ => Err(Error::custom("expected object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,232 @@
+//! The JSON value tree this facade serializes through.
+
+use std::fmt;
+
+/// A JSON number. Integers keep their signedness so `u64::MAX`-range
+/// sequence numbers survive a round trip losslessly.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (non-negative i64s normalize to `U64`).
+    I64(i64),
+    /// A float. Non-finite values serialize as `null`, matching serde.
+    F64(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (self.normalized(), other.normalized()) {
+            (U64(a), U64(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (F64(a), F64(b)) => a == b || (a.is_nan() && b.is_nan()),
+            _ => false,
+        }
+    }
+}
+
+impl Number {
+    /// Folds non-negative `I64` into `U64` so equality is by value.
+    fn normalized(self) -> Number {
+        match self {
+            Number::I64(v) if v >= 0 => Number::U64(v as u64),
+            other => other,
+        }
+    }
+
+    /// The value as `u64`, when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.normalized() {
+            Number::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.normalized() {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U64(v) => Some(v as f64),
+            Number::I64(v) => Some(v as f64),
+            Number::F64(v) => Some(v),
+        }
+    }
+}
+
+/// A JSON value. Object entries preserve insertion order so struct
+/// serialization is deterministic (field declaration order), matching
+/// serde_json's default behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when it is a representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when it is a representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`; JSON `null` reads as NaN so that serde's
+    /// "non-finite floats serialize to null" convention round-trips.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON, identical to what `serde_json::to_string` emits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(Number::U64(v)) => write!(f, "{v}"),
+            Value::Number(Number::I64(v)) => write!(f, "{v}"),
+            Value::Number(Number::F64(v)) => {
+                if v.is_finite() {
+                    write!(f, "{}", format_f64(*v))
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Shortest round-trip-stable decimal rendering, with serde_json's
+/// convention that integral floats keep a trailing `.0`.
+pub(crate) fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Writes `s` as a JSON string literal with standard escapes.
+pub(crate) fn write_json_string(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Number, Value};
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::U64(1))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("c".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[null,true],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn floats_keep_trailing_zero() {
+        assert_eq!(Value::Number(Number::F64(2.0)).to_string(), "2.0");
+        assert_eq!(Value::Number(Number::F64(2.5)).to_string(), "2.5");
+        assert_eq!(Value::Number(Number::F64(f64::NAN)).to_string(), "null");
+    }
+
+    #[test]
+    fn number_equality_crosses_signedness() {
+        assert_eq!(Number::U64(5), Number::I64(5));
+        assert_ne!(Number::U64(5), Number::F64(5.0));
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde facade's `Serialize` /
+//! `Deserialize` traits (see `vendor/serde`). Parsing is done directly
+//! over `proc_macro::TokenTree`s — the container has no `syn`/`quote` —
+//! and covers the shapes this workspace actually derives: named
+//! structs, tuple/newtype/unit structs, and enums with unit, newtype,
+//! tuple, and struct variants. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `#[derive]` input.
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    /// `struct S { a: T, .. }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, ..);` — arity.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Paren payload with this arity (1 = newtype).
+    Tuple(usize),
+    /// Brace payload with these field names.
+    Struct(Vec<String>),
+}
+
+/// Derives the facade's `Serialize` (JSON value tree, serde-compatible
+/// external representation).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the facade's `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("derive: expected `struct` or `enum`, got `{t}`"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("derive: expected type name, got `{t}`"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive on `{name}`: generic types are not supported by the vendored serde_derive");
+    }
+
+    let data = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if keyword == "enum" {
+                Data::Enum(parse_variants(&body))
+            } else {
+                Data::NamedStruct(parse_named_fields(&body))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Data::TupleStruct(count_tuple_fields(&body))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+        t => panic!("derive on `{name}`: unexpected token {t:?}"),
+    };
+
+    Input { name, data }
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility starting
+/// at `i`, returning the next significant index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]` group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advances past the current item to just after the next top-level
+/// comma, treating `<`/`>` pairs as nesting (so commas inside
+/// `BTreeMap<String, f64>` don't split fields).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth: i32 = 0;
+    while let Some(t) = tokens.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i = skip_past_comma(tokens, i + 1);
+    }
+    names
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        i = skip_past_comma(tokens, i);
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&body))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any explicit discriminant (`= expr`) up to the comma.
+        i = skip_past_comma(tokens, i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen (string-built, then parsed into a TokenStream)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::String(\"{vname}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(value, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::element(value, {i}, \"{name}\")?"))
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        Data::UnitStruct => format!("Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("serde::element(inner, {i}, \"{name}::{vname}\")?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname}({}))",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::field(inner, \"{f}\", \"{name}::{vname}\")?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = value.as_str() {{\n\
+                     match s {{\n\
+                         {unit}\n\
+                         other => return Err(serde::Error::custom(format!(\"unknown unit variant `{{other}}` of `{name}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let (tag, inner) = serde::variant(value, \"{name}\")?;\n\
+                 match tag {{\n\
+                     {tagged},\n\
+                     other => Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = if tagged_arms.is_empty() {
+                    // Keep the match arm list non-degenerate for
+                    // all-unit enums.
+                    "_ if false => unreachable!()".to_string()
+                } else {
+                    tagged_arms.join(",\n")
+                },
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

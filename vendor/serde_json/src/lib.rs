@@ -1,0 +1,455 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Text layer over the vendored serde facade's `Value` tree: a strict
+//! recursive-descent parser with line/column error positions and
+//! `Error::is_eof()` (so truncated JSONL lines are distinguishable from
+//! malformed ones), plus compact and pretty writers matching
+//! serde_json's output byte-for-byte for the shapes btpan emits.
+
+pub use serde::{Error, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Serializes `value` to compact JSON.
+///
+/// Infallible for the facade's data model; the `Result` mirrors
+/// serde_json's signature.
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes `value` to pretty-printed JSON (2-space indent).
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses `input` as JSON and deserializes into `T`.
+///
+/// # Errors
+///
+/// Returns a positioned [`Error`]; [`Error::is_eof`] is true when the
+/// input ended mid-value (truncation) rather than containing bad
+/// syntax.
+pub fn from_str<T: for<'a> Deserialize<'a>>(input: &str) -> Result<T, Error> {
+    let value = parse_value_complete(input)?;
+    T::from_value(&value)
+}
+
+/// Parses `input` into a raw [`Value`] tree.
+pub fn value_from_str(input: &str) -> Result<Value, Error> {
+    parse_value_complete(input)
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                let _ = write!(out, "{}: ", Value::String(k.clone()));
+                write_pretty(v, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        leaf => {
+            let _ = write!(out, "{leaf}");
+        }
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn line_col(&self) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        let (line, col) = self.line_col();
+        Error::syntax(msg, line, col)
+    }
+
+    fn err_eof(&self) -> Error {
+        let (line, col) = self.line_col();
+        Error::eof(line, col)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(self.err(&format!("expected `{}`", b as char))),
+            None => Err(self.err_eof()),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.err_eof()),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("expected value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        let end = self.pos + kw.len();
+        if end > self.bytes.len() {
+            // The input ends in the middle of the keyword: truncation,
+            // not malformation.
+            if kw.as_bytes().starts_with(&self.bytes[self.pos..]) {
+                self.pos = self.bytes.len();
+                return Err(self.err_eof());
+            }
+            return Err(self.err("expected value"));
+        }
+        if &self.bytes[self.pos..end] == kw.as_bytes() {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err("expected value"))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Err(self.err_eof());
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                Some(_) => return Err(self.err("expected `,` or `}`")),
+                None => return Err(self.err_eof()),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                Some(_) => return Err(self.err("expected `,` or `]`")),
+                None => return Err(self.err_eof()),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err_eof()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        None => return Err(self.err_eof()),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            // Handle surrogate pairs.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                            continue;
+                        }
+                        Some(_) => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 character (input is valid UTF-8
+                    // by construction of `&str`).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err_eof())?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            self.pos = self.bytes.len();
+            return Err(self.err_eof());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return if self.peek().is_none() {
+                Err(self.err_eof())
+            } else {
+                Err(self.err("expected digits"))
+            };
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return if self.peek().is_none() {
+                    Err(self.err_eof())
+                } else {
+                    Err(self.err("expected fraction digits"))
+                };
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return if self.peek().is_none() {
+                    Err(self.err_eof())
+                } else {
+                    Err(self.err("expected exponent digits"))
+                };
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii");
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::Number(Number::F64(v)))
+        } else if negative {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Value::Number(Number::I64(v))),
+                Err(_) => {
+                    let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+                    Ok(Value::Number(Number::F64(v)))
+                }
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Ok(Value::Number(Number::U64(v))),
+                Err(_) => {
+                    let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+                    Ok(Value::Number(Number::F64(v)))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{from_str, to_string, to_string_pretty, value_from_str, Value};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn round_trips_map() {
+        let mut m = BTreeMap::new();
+        m.insert("mttf_s".to_string(), 1234.5);
+        m.insert("availability".to_string(), 0.999);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"availability":0.999,"mttf_s":1234.5}"#);
+        let back: BTreeMap<String, f64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u64, 2]);
+        let json = to_string_pretty(&m).unwrap();
+        assert_eq!(json, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn truncated_input_is_eof_not_syntax() {
+        let full = r#"{"at":12,"node":"n1"}"#;
+        let truncated = &full[..10];
+        let err = value_from_str(truncated).unwrap_err();
+        assert!(err.is_eof(), "truncation must read as EOF: {err}");
+
+        let garbled = r#"{"at":12,!!}"#;
+        let err = value_from_str(garbled).unwrap_err();
+        assert!(!err.is_eof(), "garbling must not read as EOF: {err}");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = value_from_str(r#""a\n\té😀""#).unwrap();
+        assert_eq!(v, Value::String("a\n\té😀".to_string()));
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = value_from_str("{\"a\": nope}").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(value_from_str("1 2").is_err());
+    }
+}
