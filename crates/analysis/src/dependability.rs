@@ -174,7 +174,11 @@ impl fmt::Display for ScenarioMeasurement {
         write!(
             f,
             "MTTF {:.2}s MTTR {:.2}s A {:.3} cov {:.1}% mask {:.1}%",
-            self.mttf_s, self.mttr_s, self.availability, self.coverage_percent, self.masking_percent
+            self.mttf_s,
+            self.mttr_s,
+            self.availability,
+            self.coverage_percent,
+            self.masking_percent
         )
     }
 }
@@ -271,7 +275,9 @@ mod tests {
             .unwrap();
         // 0.688 -> 0.940: ~36.6 % improvement.
         assert!((avail - 36.6).abs() < 2.0, "avail improvement {avail}");
-        let mttf = report.mttf_improvement("Only Reboot", "SIRAs and masking").unwrap();
+        let mttf = report
+            .mttf_improvement("Only Reboot", "SIRAs and masking")
+            .unwrap();
         assert!((mttf - 202.0).abs() < 3.0, "mttf improvement {mttf}");
         assert!(report.scenario("nope").is_none());
     }

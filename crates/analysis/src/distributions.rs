@@ -250,12 +250,42 @@ mod tests {
     #[test]
     fn fig3a_filters_to_random_packet_loss() {
         let tests = vec![
-            entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DM1"), None, 1),
-            entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DM1"), None, 1),
-            entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DH5"), None, 1),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Random,
+                Some("DM1"),
+                None,
+                1,
+            ),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Random,
+                Some("DM1"),
+                None,
+                1,
+            ),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Random,
+                Some("DH5"),
+                None,
+                1,
+            ),
             // excluded: realistic workload and other failures
-            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, Some("DM1"), None, 1),
-            entry(UserFailure::ConnectFailed, WorkloadTag::Random, Some("DM1"), None, 1),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Realistic,
+                Some("DM1"),
+                None,
+                1,
+            ),
+            entry(
+                UserFailure::ConnectFailed,
+                WorkloadTag::Random,
+                Some("DM1"),
+                None,
+                1,
+            ),
         ];
         let table = packet_loss_by_packet_type(&tests);
         assert_eq!(table.total(), 3);
@@ -265,9 +295,27 @@ mod tests {
     #[test]
     fn fig3c_groups_by_app() {
         let tests = vec![
-            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, Some("P2P"), 1),
-            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, Some("P2P"), 1),
-            entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, Some("Web"), 1),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Realistic,
+                None,
+                Some("P2P"),
+                1,
+            ),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Realistic,
+                None,
+                Some("P2P"),
+                1,
+            ),
+            entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Realistic,
+                None,
+                Some("Web"),
+                1,
+            ),
         ];
         let table = packet_loss_by_app(&tests);
         assert!((table.percent("P2P") - 66.666).abs() < 0.01);
@@ -276,9 +324,27 @@ mod tests {
     #[test]
     fn fig4_by_host() {
         let tests = vec![
-            entry(UserFailure::BindFailed, WorkloadTag::Realistic, None, None, 4),
-            entry(UserFailure::BindFailed, WorkloadTag::Realistic, None, None, 4),
-            entry(UserFailure::NapNotFound, WorkloadTag::Realistic, None, None, 2),
+            entry(
+                UserFailure::BindFailed,
+                WorkloadTag::Realistic,
+                None,
+                None,
+                4,
+            ),
+            entry(
+                UserFailure::BindFailed,
+                WorkloadTag::Realistic,
+                None,
+                None,
+                4,
+            ),
+            entry(
+                UserFailure::NapNotFound,
+                WorkloadTag::Realistic,
+                None,
+                None,
+                2,
+            ),
         ];
         let map = failures_by_host(&tests);
         assert_eq!(map[&UserFailure::BindFailed].count("node4"), 2);
@@ -290,10 +356,22 @@ mod tests {
     fn workload_split() {
         let mut tests = vec![];
         for _ in 0..84 {
-            tests.push(entry(UserFailure::PacketLoss, WorkloadTag::Random, None, None, 1));
+            tests.push(entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Random,
+                None,
+                None,
+                1,
+            ));
         }
         for _ in 0..16 {
-            tests.push(entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, None, 1));
+            tests.push(entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Realistic,
+                None,
+                None,
+                1,
+            ));
         }
         let t = failures_by_workload(&tests);
         assert_eq!(t.percent("random"), 84.0);
@@ -302,9 +380,21 @@ mod tests {
 
     #[test]
     fn distance_excludes_bind() {
-        let mut a = entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, None, 1);
+        let mut a = entry(
+            UserFailure::PacketLoss,
+            WorkloadTag::Realistic,
+            None,
+            None,
+            1,
+        );
         a.distance_m = 0.5;
-        let mut b = entry(UserFailure::BindFailed, WorkloadTag::Realistic, None, None, 2);
+        let mut b = entry(
+            UserFailure::BindFailed,
+            WorkloadTag::Realistic,
+            None,
+            None,
+            2,
+        );
         b.distance_m = 7.0;
         let t = failures_by_distance(&[a, b]);
         assert_eq!(t.total(), 1);
@@ -313,7 +403,13 @@ mod tests {
 
     #[test]
     fn idle_comparison() {
-        let mut failed = entry(UserFailure::PacketLoss, WorkloadTag::Realistic, None, None, 1);
+        let mut failed = entry(
+            UserFailure::PacketLoss,
+            WorkloadTag::Realistic,
+            None,
+            None,
+            1,
+        );
         failed.idle_before_s = Some(27.3);
         let (f, c) = idle_time_comparison(&[failed], &[26.9, 26.9]);
         assert!((f - 27.3).abs() < 1e-9);
@@ -326,7 +422,13 @@ mod tests {
     fn age_histogram_shape() {
         let mut tests = Vec::new();
         for age in [10u64, 50, 120, 300, 9_000] {
-            let mut e = entry(UserFailure::PacketLoss, WorkloadTag::Random, Some("DH5"), None, 1);
+            let mut e = entry(
+                UserFailure::PacketLoss,
+                WorkloadTag::Random,
+                Some("DH5"),
+                None,
+                1,
+            );
             e.packets_sent_before = Some(age);
             tests.push(e);
         }

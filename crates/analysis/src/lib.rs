@@ -32,8 +32,8 @@ pub mod tables;
 pub mod ttf;
 
 pub use dependability::{ConfidenceInterval, DependabilityReport, ScenarioMeasurement};
+pub use distributions::{AgeHistogram, ShareTable};
 pub use markov::MarkovAvailability;
 pub use redundancy::{replay_with_redundancy, RedundancyConfig};
-pub use distributions::{AgeHistogram, ShareTable};
 pub use tables::{format_row, render_comparison, render_table, Alignment};
 pub use ttf::{FailureEpisode, NodeTimeline, TtfTtrSeries};

@@ -101,10 +101,7 @@ impl MarkovAvailability {
         if total <= 0.0 {
             return 0.0;
         }
-        self.rates
-            .values()
-            .map(|r| (r.lambda / total) / r.mu)
-            .sum()
+        self.rates.values().map(|r| (r.lambda / total) / r.mu).sum()
     }
 
     /// Closed-form steady-state availability.

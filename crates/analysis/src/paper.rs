@@ -137,15 +137,25 @@ mod tests {
         let base1 = TABLE4[0].availability;
         let base2 = TABLE4[1].availability;
         let best = TABLE4[3].availability;
-        assert!((100.0 * (best - base1) / base1 - AVAILABILITY_IMPROVEMENT_VS_SCENARIO1).abs() < 0.5);
-        assert!((100.0 * (best - base2) / base2 - AVAILABILITY_IMPROVEMENT_VS_SCENARIO2).abs() < 0.5);
+        assert!(
+            (100.0 * (best - base1) / base1 - AVAILABILITY_IMPROVEMENT_VS_SCENARIO1).abs() < 0.5
+        );
+        assert!(
+            (100.0 * (best - base2) / base2 - AVAILABILITY_IMPROVEMENT_VS_SCENARIO2).abs() < 0.5
+        );
         let mttf = 100.0 * (TABLE4[3].mttf_s - TABLE4[0].mttf_s) / TABLE4[0].mttf_s;
-        assert!((mttf - MTTF_IMPROVEMENT).abs() < 1.0, "mttf improvement {mttf}");
+        assert!(
+            (mttf - MTTF_IMPROVEMENT).abs() < 1.0,
+            "mttf improvement {mttf}"
+        );
     }
 
     #[test]
     fn campaign_totals_add_up() {
-        assert_eq!(USER_LEVEL_REPORTS + SYSTEM_LEVEL_ENTRIES, TOTAL_FAILURE_ITEMS);
+        assert_eq!(
+            USER_LEVEL_REPORTS + SYSTEM_LEVEL_ENTRIES,
+            TOTAL_FAILURE_ITEMS
+        );
     }
 
     #[test]

@@ -38,10 +38,7 @@ impl RedundancyConfig {
     /// Whether a failure of this type can be absorbed by switching
     /// piconets (connection-scoped) or not (node-scoped).
     pub fn absorbable(failure: UserFailure) -> bool {
-        !matches!(
-            failure,
-            UserFailure::BindFailed | UserFailure::DataMismatch
-        )
+        !matches!(failure, UserFailure::BindFailed | UserFailure::DataMismatch)
     }
 }
 
@@ -181,7 +178,13 @@ mod tests {
             standby_availability: 0.5,
         };
         let episodes: Vec<FailureEpisode> = (0..10)
-            .map(|i| ep(1_000 * (i + 1), 1_000 * (i + 1) + 300, UserFailure::ConnectFailed))
+            .map(|i| {
+                ep(
+                    1_000 * (i + 1),
+                    1_000 * (i + 1) + 300,
+                    UserFailure::ConnectFailed,
+                )
+            })
             .collect();
         let out = replay_with_redundancy(&timeline(episodes), cfg);
         assert_eq!(out.absorbed, 5);
@@ -191,19 +194,29 @@ mod tests {
     #[test]
     fn redundancy_improves_availability() {
         let episodes: Vec<FailureEpisode> = (0..50)
-            .map(|i| ep(1_000 * (i + 1), 1_000 * (i + 1) + 250, UserFailure::PacketLoss))
+            .map(|i| {
+                ep(
+                    1_000 * (i + 1),
+                    1_000 * (i + 1) + 250,
+                    UserFailure::PacketLoss,
+                )
+            })
             .collect();
         let tl = timeline(episodes);
         let base = tl.series();
-        let (red, absorbed, _) =
-            pooled_series_with_redundancy(&[tl], RedundancyConfig::default());
+        let (red, absorbed, _) = pooled_series_with_redundancy(&[tl], RedundancyConfig::default());
         assert!(absorbed > 40);
         let avail = |s: &TtfTtrSeries| {
             let f = s.ttf_stats().mean().unwrap();
             let r = s.ttr_stats().mean().unwrap();
             f / (f + r)
         };
-        assert!(avail(&red) > avail(&base) + 0.1, "{} vs {}", avail(&red), avail(&base));
+        assert!(
+            avail(&red) > avail(&base) + 0.1,
+            "{} vs {}",
+            avail(&red),
+            avail(&base)
+        );
     }
 
     #[test]
@@ -213,7 +226,13 @@ mod tests {
             standby_availability: 1.0,
         };
         let episodes: Vec<FailureEpisode> = (0..20)
-            .map(|i| ep(1_000 * (i + 1), 1_000 * (i + 1) + 100, UserFailure::NapNotFound))
+            .map(|i| {
+                ep(
+                    1_000 * (i + 1),
+                    1_000 * (i + 1) + 100,
+                    UserFailure::NapNotFound,
+                )
+            })
             .collect();
         let out = replay_with_redundancy(&timeline(episodes), cfg);
         assert_eq!(out.absorbed, 20);

@@ -39,7 +39,13 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let aligns: Vec<Alignment> = (0..cols)
-        .map(|i| if i == 0 { Alignment::Left } else { Alignment::Right })
+        .map(|i| {
+            if i == 0 {
+                Alignment::Left
+            } else {
+                Alignment::Right
+            }
+        })
         .collect();
     let mut out = String::new();
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
@@ -121,11 +127,7 @@ mod tests {
 
     #[test]
     fn long_cells_truncated() {
-        let row = format_row(
-            &["abcdefgh".into()],
-            &[4],
-            &[Alignment::Left],
-        );
+        let row = format_row(&["abcdefgh".into()], &[4], &[Alignment::Left]);
         assert_eq!(row, "| abcd |");
     }
 

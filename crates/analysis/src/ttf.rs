@@ -158,8 +158,14 @@ mod tests {
             SimTime::from_secs(1000),
         );
         let s = tl.series();
-        assert_eq!(s.ttf, vec![SimDuration::from_secs(100), SimDuration::from_secs(90)]);
-        assert_eq!(s.ttr, vec![SimDuration::from_secs(10), SimDuration::from_secs(60)]);
+        assert_eq!(
+            s.ttf,
+            vec![SimDuration::from_secs(100), SimDuration::from_secs(90)]
+        );
+        assert_eq!(
+            s.ttr,
+            vec![SimDuration::from_secs(10), SimDuration::from_secs(60)]
+        );
         // uptime + downtime == span
         assert_eq!(tl.uptime() + tl.downtime(), tl.span());
         assert_eq!(tl.downtime(), SimDuration::from_secs(70));
@@ -186,18 +192,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "negative downtime")]
     fn inverted_episode_rejected() {
-        let _ = NodeTimeline::new(1, vec![ep(200, 100)], SimTime::ZERO, SimTime::from_secs(1000));
+        let _ = NodeTimeline::new(
+            1,
+            vec![ep(200, 100)],
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
     }
 
     #[test]
     #[should_panic(expected = "after campaign end")]
     fn episode_beyond_end_rejected() {
-        let _ = NodeTimeline::new(1, vec![ep(100, 2000)], SimTime::ZERO, SimTime::from_secs(1000));
+        let _ = NodeTimeline::new(
+            1,
+            vec![ep(100, 2000)],
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
     }
 
     #[test]
     fn stats_and_merge() {
-        let tl1 = NodeTimeline::new(1, vec![ep(100, 110)], SimTime::ZERO, SimTime::from_secs(200));
+        let tl1 = NodeTimeline::new(
+            1,
+            vec![ep(100, 110)],
+            SimTime::ZERO,
+            SimTime::from_secs(200),
+        );
         let tl2 = NodeTimeline::new(2, vec![ep(50, 80)], SimTime::ZERO, SimTime::from_secs(200));
         let mut s = tl1.series();
         s.extend(&tl2.series());

@@ -249,7 +249,9 @@ impl ChannelModel for Interferer {
             } else {
                 self.off_mean_slots
             };
-            let draw = Exponential::from_mean(mean).expect("positive mean").sample(rng);
+            let draw = Exponential::from_mean(mean)
+                .expect("positive mean")
+                .sample(rng);
             self.remaining = draw.ceil().max(1.0) as u64;
         }
         self.remaining -= 1;

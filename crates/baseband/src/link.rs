@@ -520,11 +520,8 @@ mod tests {
         let bytes: u64 = 1691 * 400;
         let drop_fraction = |pt: PacketType, r: &mut SimRng| {
             let ge = GilbertElliott::new(2e-4, 0.02, 1e-6, 0.08);
-            let mut link = AclLink::new(
-                LinkConfig::new(pt).retry_limit(4),
-                ge,
-                HopSequence::new(3),
-            );
+            let mut link =
+                AclLink::new(LinkConfig::new(pt).retry_limit(4), ge, HopSequence::new(3));
             let payloads = pt.packets_for(bytes);
             let mut dropped = 0u64;
             let mut sent = 0u64;
@@ -566,7 +563,10 @@ mod tests {
         );
         let mut r = rng();
         let lost = (0..200)
-            .filter(|_| link.transmit_bytes_once(b"corruptible payload", &mut r).is_none())
+            .filter(|_| {
+                link.transmit_bytes_once(b"corruptible payload", &mut r)
+                    .is_none()
+            })
             .count();
         assert!(lost > 100, "only {lost} corrupted at BER 0.08");
     }

@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn spec_payload_capacities() {
-        let caps: Vec<u32> = PacketType::ALL.iter().map(|p| p.max_payload_bytes()).collect();
+        let caps: Vec<u32> = PacketType::ALL
+            .iter()
+            .map(|p| p.max_payload_bytes())
+            .collect();
         assert_eq!(caps, vec![17, 27, 121, 183, 224, 339]);
     }
 
@@ -206,7 +209,10 @@ mod tests {
 
     #[test]
     fn dh5_has_best_throughput() {
-        let t: Vec<f64> = PacketType::ALL.iter().map(|p| p.peak_throughput_bps()).collect();
+        let t: Vec<f64> = PacketType::ALL
+            .iter()
+            .map(|p| p.peak_throughput_bps())
+            .collect();
         let dh5 = PacketType::Dh5.peak_throughput_bps();
         assert!(t.iter().all(|&x| x <= dh5));
         // DH5: 339 bytes / 3.75 ms = 90.4 kB/s

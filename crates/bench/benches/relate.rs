@@ -54,12 +54,8 @@ fn bench(c: &mut Criterion) {
     let streams: Vec<_> = (1..=6).map(|n| node_stream(n, 300)).collect();
     c.bench_function("relate/6_nodes_x300_failures", |b| {
         b.iter(|| {
-            let m = RelationshipMatrix::from_node_logs(
-                &streams,
-                &[],
-                0,
-                SimDuration::from_secs(330),
-            );
+            let m =
+                RelationshipMatrix::from_node_logs(&streams, &[], 0, SimDuration::from_secs(330));
             black_box(m.grand_total())
         })
     });

@@ -1,0 +1,89 @@
+//! Bench (`btpan-stream`): ingest throughput of the streaming pipeline
+//! in records/s — the perf baseline for later PRs.
+//!
+//! Two shapes: the single-threaded core (merge + coalescence +
+//! estimators, no channel hops) and the full threaded engine with
+//! bounded channels and backpressure.
+
+use btpan_collect::entry::{LogRecord, SystemLogEntry, TestLogEntry, WorkloadTag};
+use btpan_faults::{SystemFault, UserFailure};
+use btpan_sim::time::{SimDuration, SimTime};
+use btpan_stream::{stream_records, StreamConfig, StreamEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const RECORDS: u64 = 20_000;
+
+fn records() -> Vec<LogRecord> {
+    (0..RECORDS)
+        .map(|i| {
+            let at = SimTime::from_secs(i / 2);
+            let node = 1 + (i % 5);
+            if i % 31 == 0 {
+                LogRecord::from_test(
+                    i,
+                    TestLogEntry {
+                        at,
+                        node,
+                        failure: UserFailure::PacketLoss,
+                        workload: WorkloadTag::Random,
+                        packet_type: Some("DM1".to_string()),
+                        packets_sent_before: Some(i),
+                        app: None,
+                        distance_m: 5.0,
+                        idle_before_s: None,
+                    },
+                )
+            } else if i % 7 == 0 {
+                LogRecord::from_system(
+                    i,
+                    SystemLogEntry::new(at, 0, SystemFault::L2capUnexpectedFrame),
+                )
+            } else {
+                LogRecord::from_system(
+                    i,
+                    SystemLogEntry::new(at, node, SystemFault::HciCommandTimeout),
+                )
+            }
+        })
+        .collect()
+}
+
+fn config() -> StreamConfig {
+    StreamConfig {
+        shards: 4,
+        channel_capacity: 1024,
+        window: SimDuration::from_secs(330),
+        watermark_lag: SimDuration::from_secs(660),
+        idle_timeout_ms: None,
+        nap_node: 0,
+        keep_tuples: false,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let input = records();
+    // Divide the reported per-iteration time by RECORDS (20k) for
+    // records/s.
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    group.bench_function("core/20k_records", |b| {
+        b.iter(|| {
+            let outcome = stream_records(black_box(input.clone()), &config());
+            black_box(outcome.snapshot.records_emitted)
+        });
+    });
+    group.bench_function("engine/20k_records_4_shards", |b| {
+        b.iter(|| {
+            let mut engine = StreamEngine::start(config());
+            for rec in input.clone() {
+                engine.ingest(rec).expect("engine alive");
+            }
+            black_box(engine.finish().snapshot.records_emitted)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,7 +23,11 @@ use btpan_sim::time::SimDuration;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Ablations", "burstiness / latent faults / window choice", &scale);
+    banner(
+        "Ablations",
+        "burstiness / latent faults / window choice",
+        &scale,
+    );
 
     // --- 1. burstiness ---------------------------------------------------
     println!("1. channel burstiness (per-payload drop probability, 120k payloads):");
@@ -113,8 +117,15 @@ fn main() {
     let m30 = table2(&scale, SimDuration::from_secs(30));
     let m330 = table2(&scale, SimDuration::from_secs(330));
     let hci = |m: &btpan_collect::RelationshipMatrix| {
-        m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Local)
-            + m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Nap)
+        m.percent(
+            UserFailure::ConnectFailed,
+            SystemComponent::Hci,
+            CauseSite::Local,
+        ) + m.percent(
+            UserFailure::ConnectFailed,
+            SystemComponent::Hci,
+            CauseSite::Nap,
+        )
     };
     println!(
         "   Connect-failed -> HCI attribution: {:.1} % at 30 s vs {:.1} % at 330 s",

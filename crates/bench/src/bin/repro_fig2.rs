@@ -6,7 +6,11 @@ use btpan_core::experiment::fig2;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 2", "coalescence sensitivity (tuples vs window)", &scale);
+    banner(
+        "Figure 2",
+        "coalescence sensitivity (tuples vs window)",
+        &scale,
+    );
     let curve = fig2(&scale);
     let pct = curve.tuple_percentages();
     println!("{:>12} {:>10} {:>8}", "window (s)", "tuples", "% items");

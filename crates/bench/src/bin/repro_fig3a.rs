@@ -7,7 +7,11 @@ use btpan_core::experiment::fig3a;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 3a", "packet-loss share by packet type (Random WL)", &scale);
+    banner(
+        "Figure 3a",
+        "packet-loss share by packet type (Random WL)",
+        &scale,
+    );
     let table = fig3a(&scale);
     // The Random WL picks B from Binomial(5, 1/2): the six types are
     // exercised with weights 1:5:10:10:5:1. Fig. 3a reports the loss
@@ -20,7 +24,10 @@ fn main() {
         .map(|(pt, w)| table.count(pt) as f64 / w)
         .collect();
     let total_rate: f64 = rates.iter().sum();
-    println!("{:>6} {:>8} {:>10} {:>12}", "type", "losses", "raw share", "per-usage %");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12}",
+        "type", "losses", "raw share", "per-usage %"
+    );
     for ((pt, rate), w) in types.iter().zip(&rates).zip(weights) {
         let _ = w;
         println!(

@@ -8,14 +8,29 @@ use btpan_core::experiment::fig3c;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 3c", "packet-loss share by application (Realistic WL)", &scale);
+    banner(
+        "Figure 3c",
+        "packet-loss share by application (Realistic WL)",
+        &scale,
+    );
     let table = fig3c(&scale);
     println!("{:>10} {:>8} {:>8}", "app", "losses", "share");
     for app in ["P2P", "Streaming", "FTP", "Web", "Mail"] {
-        println!("{app:>10} {:>8} {:>7.1}%", table.count(app), table.percent(app));
+        println!(
+            "{app:>10} {:>8} {:>7.1}%",
+            table.count(app),
+            table.percent(app)
+        );
     }
     println!("\npaper shape: P2P > Streaming > (FTP, Web, Mail)");
     let p2p = table.percent("P2P");
     let mail = table.percent("Mail");
-    println!("measured P2P/Mail ratio: {:.1}", if mail > 0.0 { p2p / mail } else { f64::INFINITY });
+    println!(
+        "measured P2P/Mail ratio: {:.1}",
+        if mail > 0.0 {
+            p2p / mail
+        } else {
+            f64::INFINITY
+        }
+    );
 }

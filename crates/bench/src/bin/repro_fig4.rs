@@ -30,8 +30,6 @@ fn main() {
             .iter()
             .map(|h| bind.count(h))
             .sum();
-        println!(
-            "\nbind failures on non-prone hosts: {clean} (paper: 0 — only Azzurro and Win)"
-        );
+        println!("\nbind failures on non-prone hosts: {clean} (paper: 0 — only Azzurro and Win)");
     }
 }

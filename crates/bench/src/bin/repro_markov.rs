@@ -8,7 +8,11 @@ use btpan_core::experiment::markov_validation;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Markov", "analytic availability model vs measurement", &scale);
+    banner(
+        "Markov",
+        "analytic availability model vs measurement",
+        &scale,
+    );
     let (model, measured) = markov_validation(&scale);
     println!("fitted failure types: {}", model.len());
     println!("model per-node MTTF:  {:.1} s", model.mttf_s());

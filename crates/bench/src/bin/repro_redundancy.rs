@@ -10,7 +10,10 @@ fn main() {
     banner("Redundancy", "standby overlapped piconet replay", &scale);
     let (base, redundant, absorbed, total) = redundancy(&scale);
     println!("failures observed:        {total}");
-    println!("absorbed by failover:     {absorbed} ({:.1} %)", 100.0 * absorbed as f64 / total.max(1) as f64);
+    println!(
+        "absorbed by failover:     {absorbed} ({:.1} %)",
+        100.0 * absorbed as f64 / total.max(1) as f64
+    );
     println!("availability without standby: {base:.4}");
     println!("availability with standby:    {redundant:.4}");
     println!(

@@ -4,14 +4,18 @@
 
 use btpan_bench::{banner, scale_from_args};
 use btpan_core::campaign::{Campaign, CampaignConfig};
+use btpan_core::prelude::WorkloadKind;
 use btpan_faults::{FailureGroup, SystemFault, UserFailure};
 use btpan_recovery::RecoveryPolicy;
-use btpan_core::prelude::WorkloadKind;
 use std::collections::BTreeSet;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Table 1", "failure model census from simulated logs", &scale);
+    banner(
+        "Table 1",
+        "failure model census from simulated logs",
+        &scale,
+    );
     let mut seen_user: BTreeSet<UserFailure> = BTreeSet::new();
     let mut seen_sys: BTreeSet<SystemFault> = BTreeSet::new();
     for &seed in &scale.seeds {
@@ -28,7 +32,11 @@ fn main() {
             }
         }
     }
-    for group in [FailureGroup::Search, FailureGroup::Connect, FailureGroup::DataTransfer] {
+    for group in [
+        FailureGroup::Search,
+        FailureGroup::Connect,
+        FailureGroup::DataTransfer,
+    ] {
         println!("{group:?}:");
         for f in UserFailure::ALL.iter().filter(|f| f.group() == group) {
             println!(

@@ -10,12 +10,13 @@ use btpan_sim::time::SimDuration;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Table 2", "error-failure relationships (window 330 s)", &scale);
-    let m = table2(&scale, SimDuration::from_secs(330));
-    println!(
-        "observations: {} user failures related\n",
-        m.grand_total()
+    banner(
+        "Table 2",
+        "error-failure relationships (window 330 s)",
+        &scale,
     );
+    let m = table2(&scale, SimDuration::from_secs(330));
+    println!("observations: {} user failures related\n", m.grand_total());
     println!(
         "{:<24} {:>7} | {:>13} {:>13} {:>13} {:>8}",
         "user failure", "mix%", "HCI l/N", "L2CAP l/N", "SDP l/N", "none%"

@@ -9,7 +9,11 @@ use btpan_core::experiment::table4;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Table 4", "dependability improvement across policies", &scale);
+    banner(
+        "Table 4",
+        "dependability improvement across policies",
+        &scale,
+    );
     let report = table4(&scale);
     println!(
         "{:<26} {:>11} {:>11} {:>8} {:>8} {:>8}",
@@ -21,7 +25,10 @@ fn main() {
             "{label:<26} {:>11.2} {:>11.2} {:>8.3} {:>8.1} {:>8.1}",
             m.mttf_s, m.mttr_s, m.availability, m.coverage_percent, m.masking_percent
         );
-        let p = TABLE4.iter().find(|c| c.label == label).expect("known scenario");
+        let p = TABLE4
+            .iter()
+            .find(|c| c.label == label)
+            .expect("known scenario");
         println!(
             "{:<26} {:>11.2} {:>11.2} {:>8.3} {:>8.1} {:>8.1}",
             "  paper", p.mttf_s, p.mttr_s, p.availability, p.coverage_percent, p.masking_percent
@@ -38,7 +45,10 @@ fn main() {
             "{label:<26} {:>11.1} {:>11.1} {:>9.1} {:>11.1} {:>9.1} {:>9.1}",
             m.ttf.std_dev, m.ttr.std_dev, m.ttf.min, m.ttf.max, m.ttr.min, m.ttr.max
         );
-        let p = TABLE4.iter().find(|c| c.label == label.as_str()).expect("known");
+        let p = TABLE4
+            .iter()
+            .find(|c| c.label == label.as_str())
+            .expect("known");
         println!(
             "{:<26} {:>11.1} {:>11.1}   (paper min TTF 11-19 s, max TTF 117893 s, max TTR 7366 s)",
             "  paper std", p.ttf_std_s, p.ttr_std_s

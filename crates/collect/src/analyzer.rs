@@ -67,9 +67,7 @@ impl LogAnalyzer {
             return false;
         }
         match prev {
-            Some(p) if p.fault == entry.fault => {
-                entry.at.saturating_since(p.at) > DEDUP_WINDOW
-            }
+            Some(p) if p.fault == entry.fault => entry.at.saturating_since(p.at) > DEDUP_WINDOW,
             _ => true,
         }
     }

@@ -185,7 +185,12 @@ fn maybe_skew_clock(
 
 /// Garbles or truncates a line per the configured rates (garbling wins
 /// when both fire).
-fn damage_line(line: &str, config: &ChaosConfig, rng: &mut SimRng, stats: &mut ChaosStats) -> String {
+fn damage_line(
+    line: &str,
+    config: &ChaosConfig,
+    rng: &mut SimRng,
+    stats: &mut ChaosStats,
+) -> String {
     if config.corrupt_line_rate > 0.0 && rng.chance(config.corrupt_line_rate) {
         stats.corrupted += 1;
         return garble(line, rng);
@@ -294,7 +299,13 @@ mod tests {
         let (b, sb) = inject(&trace, &config);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
-        let (c, _) = inject(&trace, &ChaosConfig { seed: 100, ..config });
+        let (c, _) = inject(
+            &trace,
+            &ChaosConfig {
+                seed: 100,
+                ..config
+            },
+        );
         assert_ne!(a, c, "different seeds must change the fault pattern");
     }
 

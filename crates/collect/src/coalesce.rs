@@ -287,7 +287,10 @@ mod scheme_tests {
     fn schemes_agree_on_tight_clusters() {
         let records = vec![rec(0, 0), rec(1, 2), rec(2, 500), rec(3, 501)];
         let w = SimDuration::from_secs(30);
-        assert_eq!(coalesce(&records, w).len(), coalesce_fixed_window(&records, w).len());
+        assert_eq!(
+            coalesce(&records, w).len(),
+            coalesce_fixed_window(&records, w).len()
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
             vec![test_rec(0, 30), test_rec(1, 10)],
             vec![sys_rec(2, 20), sys_rec(3, 5)],
         ]);
-        let times: Vec<u64> = merged.iter().map(|r| r.at.as_micros() / 1_000_000).collect();
+        let times: Vec<u64> = merged
+            .iter()
+            .map(|r| r.at.as_micros() / 1_000_000)
+            .collect();
         assert_eq!(times, vec![5, 10, 20, 30]);
     }
 

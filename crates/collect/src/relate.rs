@@ -23,6 +23,10 @@ pub struct RelationshipObservation {
     pub cause: Option<(SystemComponent, CauseSite)>,
 }
 
+/// One flattened matrix cell: the failure, its optional related system
+/// cause, and the observation count (see [`RelationshipMatrix::cells`]).
+pub type CellCount = (UserFailure, Option<(SystemComponent, CauseSite)>, u64);
+
 /// The Table 2 matrix: per user failure, evidence counts per
 /// (component, site) plus the no-evidence count.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -103,7 +107,12 @@ impl RelationshipMatrix {
     }
 
     /// Row percentage for (`failure`, `component`, `site`).
-    pub fn percent(&self, failure: UserFailure, component: SystemComponent, site: CauseSite) -> f64 {
+    pub fn percent(
+        &self,
+        failure: UserFailure,
+        component: SystemComponent,
+        site: CauseSite,
+    ) -> f64 {
         let total = self.total(failure);
         if total == 0 {
             return 0.0;
@@ -150,12 +159,51 @@ impl RelationshipMatrix {
         }
         100.0 * self.total(failure) as f64 / grand as f64
     }
+
+    /// Flat, deterministically ordered dump of every cell: evidence
+    /// cells first (cause `Some`), then the no-evidence cells. Together
+    /// with [`RelationshipMatrix::add_count`] this allows lossless
+    /// round-tripping through a serialized snapshot.
+    pub fn cells(&self) -> Vec<CellCount> {
+        let mut out: Vec<_> = self
+            .counts
+            .iter()
+            .map(|(&(f, c, s), &n)| (f, Some((c, s)), n))
+            .collect();
+        out.extend(self.none_counts.iter().map(|(&f, &n)| (f, None, n)));
+        out
+    }
+
+    /// Adds `n` pre-aggregated observations of (`failure`, `cause`) —
+    /// the bulk inverse of [`RelationshipMatrix::record`].
+    pub fn add_count(
+        &mut self,
+        failure: UserFailure,
+        cause: Option<(SystemComponent, CauseSite)>,
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        *self.totals.entry(failure).or_insert(0) += n;
+        match cause {
+            Some((component, site)) => {
+                *self.counts.entry((failure, component, site)).or_insert(0) += n;
+            }
+            None => {
+                *self.none_counts.entry(failure).or_insert(0) += n;
+            }
+        }
+    }
 }
 
 /// Extracts the observations of one tuple: each user failure of `node`
 /// pairs with the dominant co-tupled system evidence (local beats NAP on
 /// ties; the component physically closest in time wins).
-fn observations_in(
+///
+/// Public so the streaming engine (`btpan-stream`) applies the exact
+/// same evidence-ranking rule to its incrementally closed tuples.
+pub fn observations_in(
     tuple: &Tuple,
     node: NodeId,
     nap_node: NodeId,
@@ -242,7 +290,11 @@ mod tests {
         );
         assert_eq!(m.total(UserFailure::ConnectFailed), 1);
         assert_eq!(
-            m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Local),
+            m.percent(
+                UserFailure::ConnectFailed,
+                SystemComponent::Hci,
+                CauseSite::Local
+            ),
             100.0
         );
     }
@@ -258,7 +310,11 @@ mod tests {
             SimDuration::from_secs(330),
         );
         assert_eq!(
-            m.percent(UserFailure::PacketLoss, SystemComponent::L2cap, CauseSite::Nap),
+            m.percent(
+                UserFailure::PacketLoss,
+                SystemComponent::L2cap,
+                CauseSite::Nap
+            ),
             100.0
         );
     }
@@ -277,7 +333,11 @@ mod tests {
             SimDuration::from_secs(330),
         );
         assert_eq!(
-            m.percent(UserFailure::ConnectFailed, SystemComponent::Hci, CauseSite::Local),
+            m.percent(
+                UserFailure::ConnectFailed,
+                SystemComponent::Hci,
+                CauseSite::Local
+            ),
             100.0
         );
     }
@@ -329,6 +389,27 @@ mod tests {
         assert_eq!(m.mix_percent(UserFailure::ConnectFailed), 75.0);
         assert_eq!(m.mix_percent(UserFailure::BindFailed), 0.0);
         assert_eq!(m.percent_none(UserFailure::BindFailed), 0.0);
+    }
+
+    #[test]
+    fn cells_round_trip() {
+        let mut m = RelationshipMatrix::new();
+        for _ in 0..3 {
+            m.record(RelationshipObservation {
+                failure: UserFailure::ConnectFailed,
+                cause: Some((SystemComponent::Hci, CauseSite::Local)),
+            });
+        }
+        m.record(RelationshipObservation {
+            failure: UserFailure::PacketLoss,
+            cause: None,
+        });
+        let mut rebuilt = RelationshipMatrix::new();
+        for (failure, cause, n) in m.cells() {
+            rebuilt.add_count(failure, cause, n);
+        }
+        assert_eq!(rebuilt, m);
+        assert_eq!(rebuilt.grand_total(), 4);
     }
 
     #[test]

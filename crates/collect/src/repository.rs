@@ -39,7 +39,9 @@ impl Repository {
         let mut inner = self.inner.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.test_records.push(LogRecord::from_test(seq, entry.clone()));
+        inner
+            .test_records
+            .push(LogRecord::from_test(seq, entry.clone()));
         inner.tests.push(entry);
     }
 
@@ -277,7 +279,10 @@ mod tests {
         let repo = Repository::new();
         let record = crate::entry::LogRecord::from_test(7, t(1, 10));
         assert!(repo.store_record(record.clone()));
-        assert!(!repo.store_record(record.clone()), "re-delivery must be a no-op");
+        assert!(
+            !repo.store_record(record.clone()),
+            "re-delivery must be a no-op"
+        );
         assert_eq!(repo.test_count(), 1);
         assert_eq!(repo.records()[0].seq, 7);
         // Subsequent locally born records continue past the imported seq.

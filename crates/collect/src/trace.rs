@@ -24,6 +24,7 @@
 
 use crate::entry::LogRecord;
 use crate::repository::Repository;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors from strict trace parsing.
@@ -111,7 +112,7 @@ pub fn import_trace(trace: &str) -> Result<Vec<LogRecord>, TraceError> {
 }
 
 /// What a lenient import refused to take.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuarantineReport {
     /// Non-blank lines inspected.
     pub total_lines: usize,

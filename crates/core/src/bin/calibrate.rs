@@ -9,9 +9,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let hours: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     for wl in [WorkloadKind::Random, WorkloadKind::Realistic] {
-        for policy in [RecoveryPolicy::Siras, RecoveryPolicy::RebootOnly, RecoveryPolicy::SirasAndMasking] {
+        for policy in [
+            RecoveryPolicy::Siras,
+            RecoveryPolicy::RebootOnly,
+            RecoveryPolicy::SirasAndMasking,
+        ] {
             let r = Campaign::new(
-                CampaignConfig::paper(42, wl, policy).duration(SimDuration::from_secs(hours * 3600)),
+                CampaignConfig::paper(42, wl, policy)
+                    .duration(SimDuration::from_secs(hours * 3600)),
             )
             .run();
             let series = r.piconet_series();
@@ -34,7 +39,10 @@ fn main() {
             for f in UserFailure::ALL {
                 let c = counts[f.index()];
                 if c > 0 {
-                    println!("   {f}: {c} ({:.1}%)", 100.0 * c as f64 / tests.len() as f64);
+                    println!(
+                        "   {f}: {c} ({:.1}%)",
+                        100.0 * c as f64 / tests.len() as f64
+                    );
                 }
             }
         }

@@ -44,9 +44,7 @@ use btpan_recovery::sira::SiraCosts;
 use btpan_sim::prelude::*;
 use btpan_sim::time::{SimDuration, SimTime};
 use btpan_stack::socket::BindError;
-use btpan_workload::{
-    CycleParams, RandomWorkload, RealisticWorkload, WorkloadKind, WorkloadModel,
-};
+use btpan_workload::{CycleParams, RandomWorkload, RealisticWorkload, WorkloadKind, WorkloadModel};
 
 /// Per-payload loss/mismatch rates by packet type.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,12 +87,7 @@ impl LossModel {
         // Binomial(5, 1/2) weights of the Random WL packet-type pick.
         let weights = [1.0, 5.0, 10.0, 10.0, 5.0, 1.0];
         let wsum: f64 = weights.iter().sum();
-        let mean: f64 = raw
-            .iter()
-            .zip(&weights)
-            .map(|(r, w)| r * w)
-            .sum::<f64>()
-            / wsum;
+        let mean: f64 = raw.iter().zip(&weights).map(|(r, w)| r * w).sum::<f64>() / wsum;
         let mut type_factor = [0.0; 6];
         for i in 0..6 {
             type_factor[i] = raw[i] / mean;
@@ -108,7 +101,10 @@ impl LossModel {
 
     /// Per-payload drop probability for `pt`.
     pub fn p_drop(&self, pt: PacketType) -> f64 {
-        let idx = PacketType::ALL.iter().position(|&p| p == pt).expect("known type");
+        let idx = PacketType::ALL
+            .iter()
+            .position(|&p| p == pt)
+            .expect("known type");
         (self.base_drop * self.type_factor[idx]).clamp(0.0, 1.0)
     }
 
@@ -398,9 +394,7 @@ impl NodeRun<'_> {
         let m = self.hazard();
         if m > 1.0 {
             // Re-roll the phase with the residual probability mass.
-            let extra = self
-                .injector
-                .check_phase(phase, self.quirks, &mut self.rng);
+            let extra = self.injector.check_phase(phase, self.quirks, &mut self.rng);
             if extra.is_some() && self.rng.chance(m - 1.0) {
                 return extra;
             }
@@ -792,12 +786,10 @@ impl NodeRun<'_> {
         }
 
         // Recovery under the active policy.
-        let outcome = self.cfg.policy.recover(
-            failure,
-            &self.cfg.costs,
-            self.quirks.is_pda,
-            &mut self.rng,
-        );
+        let outcome =
+            self.cfg
+                .policy
+                .recover(failure, &self.cfg.costs, self.quirks.is_pda, &mut self.rng);
         if outcome.counts_for_coverage() {
             self.covered += 1;
         }
@@ -833,7 +825,8 @@ impl NodeRun<'_> {
         let end = SimTime::ZERO + self.cfg.duration;
         while t < end {
             let fault = *self.rng.pick(&benign);
-            self.system_log.append(SystemLogEntry::new(t, self.node, fault));
+            self.system_log
+                .append(SystemLogEntry::new(t, self.node, fault));
             t += SimDuration::from_secs_f64(gap.sample(&mut self.rng).max(1.0));
         }
         let _ = &self.name;
@@ -914,8 +907,7 @@ mod tests {
         };
         let base = long(RecoveryPolicy::Siras);
         let masked = long(RecoveryPolicy::SirasAndMasking);
-        let mttf =
-            |r: &CampaignResult| r.piconet_series().ttf_stats().mean().unwrap_or(f64::MAX);
+        let mttf = |r: &CampaignResult| r.piconet_series().ttf_stats().mean().unwrap_or(f64::MAX);
         assert!(
             mttf(&masked) > mttf(&base) * 1.4,
             "masked {} base {}",
@@ -978,9 +970,7 @@ mod hazard_tests {
         };
         let reboot = run(RecoveryPolicy::RebootOnly);
         let siras = run(RecoveryPolicy::Siras);
-        let mttf = |r: &CampaignResult| {
-            r.piconet_series().ttf_stats().mean().unwrap_or(f64::MAX)
-        };
+        let mttf = |r: &CampaignResult| r.piconet_series().ttf_stats().mean().unwrap_or(f64::MAX);
         assert!(
             mttf(&reboot) < mttf(&siras),
             "reboot {} !< siras {}",
@@ -998,15 +988,10 @@ mod hazard_tests {
             cfg.latent.post_scale = post_scale;
             Campaign::new(cfg).run()
         };
-        let mttf = |r: &CampaignResult| {
-            r.piconet_series().ttf_stats().mean().unwrap_or(f64::MAX)
-        };
+        let mttf = |r: &CampaignResult| r.piconet_series().ttf_stats().mean().unwrap_or(f64::MAX);
         let with = mttf(&run(RecoveryPolicy::RebootOnly, 1.0));
         let without = mttf(&run(RecoveryPolicy::RebootOnly, 0.0));
-        assert!(
-            without > with * 1.15,
-            "penalty off {without} vs on {with}"
-        );
+        assert!(without > with * 1.15, "penalty off {without} vs on {with}");
     }
 
     /// The piconet-level series interleaves all six PANUs: it must hold

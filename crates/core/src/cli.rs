@@ -10,24 +10,40 @@
 //! * `table4` — the four-policy dependability comparison;
 //!   `--max-retries` / `--seed-timeout` run it under the fault-tolerant
 //!   supervisor and report coverage-widened confidence intervals;
+//! * `stream` — tail a JSONL trace through the `btpan-stream` engine
+//!   and print live Table-2/Table-4 snapshots, with optional
+//!   checkpoint/resume;
 //! * `markov` — fit and print the analytic availability model.
 //!
 //! All parsing and execution lives here (returning the output as a
 //! string) so it is unit-testable; the binary is a thin wrapper.
+//!
+//! Exit codes: `0` success, `2` usage/I-O/parse error,
+//! [`EXIT_QUARANTINE`] (`3`) when the run succeeded but the trace was
+//! unhealthy (lenient-import or streaming quarantine non-empty) — so CI
+//! scripts can gate on trace health.
 
 use crate::campaign::{Campaign, CampaignConfig};
 use crate::experiment::{self, Scale};
 use crate::machine::NAP_NODE_ID;
 use crate::supervisor::SupervisorConfig;
+use btpan_collect::entry::LogRecord;
 use btpan_collect::relate::RelationshipMatrix;
 use btpan_collect::trace::{
-    export_trace, import_trace, import_trace_lenient, repository_from_records,
+    export_trace, import_trace, import_trace_lenient, repository_from_records, QuarantineReport,
 };
 use btpan_faults::{CauseSite, SystemComponent, UserFailure};
 use btpan_recovery::RecoveryPolicy;
 use btpan_sim::time::SimDuration;
+use btpan_stream::{Checkpoint, LineFramer, StreamConfig, StreamEngine, StreamSnapshot};
 use btpan_workload::WorkloadKind;
+use serde::Serialize;
 use std::fmt;
+use std::io::{Read as _, Seek as _, SeekFrom};
+
+/// Exit code for "the command succeeded, but records were quarantined"
+/// (`analyze --lenient-import` or `stream` on an unhealthy trace).
+pub const EXIT_QUARANTINE: i32 = 3;
 
 /// CLI errors.
 #[derive(Debug)]
@@ -38,6 +54,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Trace parse failure.
     Trace(btpan_collect::trace::TraceError),
+    /// Malformed checkpoint file.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CliError {
@@ -46,6 +64,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Trace(e) => write!(f, "trace error: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -64,7 +83,10 @@ pub const USAGE: &str = "btpan — Bluetooth PAN failure-data toolbench
 USAGE:
   btpan campaign [--workload random|realistic] [--policy reboot|app-reboot|siras|siras-masking]
                  [--hours H] [--seed S] [--export PATH]
-  btpan analyze PATH [--window SECS] [--lenient-import]
+  btpan analyze PATH [--window SECS] [--lenient-import] [--json]
+  btpan stream PATH [--window SECS] [--lag SECS] [--shards N] [--snapshot-every N]
+               [--follow] [--poll-ms MS] [--idle-exit POLLS] [--idle-timeout-ms MS]
+               [--checkpoint PATH] [--resume PATH] [--json]
   btpan table4 [--seeds N] [--hours H] [--max-retries N] [--seed-timeout SECS]
   btpan markov [--seeds N] [--hours H]
   btpan model
@@ -117,22 +139,50 @@ fn scale_from(args: &[String]) -> Result<Scale, CliError> {
     })
 }
 
-/// Runs the CLI and returns its output text.
+/// A CLI result: the text to print plus the process exit status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOutcome {
+    /// Text for stdout.
+    pub output: String,
+    /// Process exit status (`0` ok, [`EXIT_QUARANTINE`] on an unhealthy
+    /// trace).
+    pub status: i32,
+}
+
+impl CliOutcome {
+    fn ok(output: String) -> Self {
+        CliOutcome { output, status: 0 }
+    }
+}
+
+/// Runs the CLI and returns its output text and exit status.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, bad flags, or I/O
+/// problems.
+pub fn run_cli(args: &[String]) -> Result<CliOutcome, CliError> {
+    match args.first().map(String::as_str) {
+        Some("campaign") => cmd_campaign(&args[1..]).map(CliOutcome::ok),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
+        Some("table4") => cmd_table4(&args[1..]).map(CliOutcome::ok),
+        Some("markov") => cmd_markov(&args[1..]).map(CliOutcome::ok),
+        Some("model") => Ok(CliOutcome::ok(render_failure_model())),
+        Some("help") | None => Ok(CliOutcome::ok(USAGE.to_string())),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Runs the CLI and returns only its output text (exit status
+/// discarded); see [`run_cli`].
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unknown commands, bad flags, or I/O
 /// problems.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    match args.first().map(String::as_str) {
-        Some("campaign") => cmd_campaign(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("table4") => cmd_table4(&args[1..]),
-        Some("markov") => cmd_markov(&args[1..]),
-        Some("model") => Ok(render_failure_model()),
-        Some("help") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
-    }
+    run_cli(args).map(|outcome| outcome.output)
 }
 
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
@@ -155,7 +205,10 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     out.push_str(&format!("cycles:      {}\n", result.cycles_run));
     out.push_str(&format!("failures:    {}\n", result.failure_count));
     out.push_str(&format!("masked:      {}\n", result.masked_count));
-    out.push_str(&format!("log items:   {}\n", result.repository.total_count()));
+    out.push_str(&format!(
+        "log items:   {}\n",
+        result.repository.total_count()
+    ));
     out.push_str(&format!("piconet MTTF: {mttf:.1} s, MTTR: {mttr:.1} s\n"));
     out.push_str(&format!("availability: {:.4}\n", mttf / (mttf + mttr)));
     if let Some(path) = flag_value(args, "--export") {
@@ -169,22 +222,89 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+/// One row of the analyze report: a failure class with its dominant
+/// related system error.
+#[derive(Debug, Clone, Serialize)]
+struct AnalyzeRow {
+    failure: String,
+    n: u64,
+    dominant: String,
+    percent: f64,
+}
+
+/// Quarantine counts as they appear in the `--json` report.
+#[derive(Debug, Clone, Serialize)]
+struct QuarantineCounts {
+    total_lines: usize,
+    imported: usize,
+    quarantined: usize,
+}
+
+impl QuarantineCounts {
+    fn from_report(report: &QuarantineReport) -> Self {
+        QuarantineCounts {
+            total_lines: report.total_lines,
+            imported: report.imported,
+            quarantined: report.quarantined.len(),
+        }
+    }
+}
+
+/// The `analyze --json` report.
+#[derive(Debug, Clone, Serialize)]
+struct AnalyzeReport {
+    records: usize,
+    related_failures: u64,
+    window_s: u64,
+    quarantine: Option<QuarantineCounts>,
+    rows: Vec<AnalyzeRow>,
+}
+
+fn matrix_rows(m: &RelationshipMatrix) -> Vec<AnalyzeRow> {
+    let mut rows = Vec::new();
+    for f in UserFailure::ALL {
+        if m.total(f) == 0 {
+            continue;
+        }
+        let mut best = ("none".to_string(), m.percent_none(f));
+        for c in SystemComponent::ALL {
+            for site in [CauseSite::Local, CauseSite::Nap] {
+                let p = m.percent(f, c, site);
+                if p > best.1 {
+                    best = (format!("{c} ({site})"), p);
+                }
+            }
+        }
+        rows.push(AnalyzeRow {
+            failure: f.label().to_string(),
+            n: m.total(f),
+            dominant: best.0,
+            percent: best.1,
+        });
+    }
+    rows
+}
+
+fn render_matrix_rows(m: &RelationshipMatrix, out: &mut String) {
+    for row in matrix_rows(m) {
+        out.push_str(&format!(
+            "{:<24} n={:<5} dominant: {} {:.1}%\n",
+            row.failure, row.n, row.dominant, row.percent
+        ));
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<CliOutcome, CliError> {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| CliError::Usage("analyze needs a trace path".into()))?;
     let window = parse_u64(&args[1..], "--window", 330)?;
     let text = std::fs::read_to_string(path)?;
-    let mut quarantine_note = String::new();
+    let mut quarantine = None;
     let records = if has_flag(args, "--lenient-import") {
         let (records, report) = import_trace_lenient(&text);
-        if !report.is_clean() {
-            quarantine_note = format!("quarantine: {report}\n");
-            for (line, reason) in &report.quarantined {
-                quarantine_note.push_str(&format!("  line {line}: {reason}\n"));
-            }
-        }
+        quarantine = Some(report);
         records
     } else {
         import_trace(&text).map_err(CliError::Trace)?
@@ -202,48 +322,219 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         NAP_NODE_ID,
         SimDuration::from_secs(window),
     );
+    let unhealthy = quarantine.as_ref().is_some_and(|r| !r.is_clean());
+    let status = if unhealthy { EXIT_QUARANTINE } else { 0 };
+    if has_flag(args, "--json") {
+        let report = AnalyzeReport {
+            records: records.len(),
+            related_failures: m.grand_total(),
+            window_s: window,
+            quarantine: quarantine.as_ref().map(QuarantineCounts::from_report),
+            rows: matrix_rows(&m),
+        };
+        let json = serde_json::to_string(&report).expect("report serializes");
+        return Ok(CliOutcome {
+            output: format!("{json}\n"),
+            status,
+        });
+    }
     let mut out = format!(
-        "{} records, {} related failures (window {window} s)\n{quarantine_note}",
+        "{} records, {} related failures (window {window} s)\n",
         records.len(),
         m.grand_total()
     );
-    for f in UserFailure::ALL {
-        if m.total(f) == 0 {
-            continue;
+    if let Some(report) = quarantine.as_ref().filter(|r| !r.is_clean()) {
+        out.push_str(&format!("quarantine: {report}\n"));
+        for (line, reason) in &report.quarantined {
+            out.push_str(&format!("  line {line}: {reason}\n"));
         }
-        let mut best = ("none".to_string(), m.percent_none(f));
-        for c in SystemComponent::ALL {
-            for site in [CauseSite::Local, CauseSite::Nap] {
-                let p = m.percent(f, c, site);
-                if p > best.1 {
-                    best = (format!("{c} ({site})"), p);
+    }
+    render_matrix_rows(&m, &mut out);
+    Ok(CliOutcome {
+        output: out,
+        status,
+    })
+}
+
+/// Renders a live Table-2/Table-4 view of a streaming snapshot.
+fn render_stream_snapshot(snap: &StreamSnapshot, label: &str) -> String {
+    let mut out = format!(
+        "stream snapshot [{label}]: {} records emitted, watermark {}\n",
+        snap.records_emitted,
+        snap.watermark_us
+            .map_or_else(|| "-".to_string(), |us| format!("{:.1} s", us as f64 / 1e6)),
+    );
+    out.push_str(&format!(
+        "  table4: episodes {}  MTTF {:.1} s  MTTR {:.1} s  availability {:.4}\n",
+        snap.episodes, snap.mttf_s, snap.mttr_s, snap.availability
+    ));
+    out.push_str(&format!(
+        "  transport: late quarantined {}, duplicates dropped {}, resident {} (peak {})\n",
+        snap.late_quarantined,
+        snap.duplicates_dropped,
+        snap.resident_records,
+        snap.peak_resident_records
+    ));
+    if !snap.loss_by_packet_type.is_empty() {
+        out.push_str("  packet loss:");
+        for (packet_type, n) in &snap.loss_by_packet_type {
+            out.push_str(&format!(" {packet_type}={n}"));
+        }
+        out.push('\n');
+    }
+    let matrix = snap.matrix();
+    if matrix.grand_total() > 0 {
+        out.push_str("  table2:\n");
+        let mut rows = String::new();
+        render_matrix_rows(&matrix, &mut rows);
+        for line in rows.lines() {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("stream needs a trace path".into()))?;
+    let flags = &args[1..];
+    let window = parse_u64(flags, "--window", 330)?;
+    let lag = parse_u64(flags, "--lag", 2 * window)?;
+    let shards = parse_u64(flags, "--shards", 4)?.max(1) as usize;
+    let snapshot_every = parse_u64(flags, "--snapshot-every", 0)?;
+    let idle_timeout_ms = parse_u64(flags, "--idle-timeout-ms", 0)?;
+    let follow = has_flag(args, "--follow");
+    let poll_ms = parse_u64(flags, "--poll-ms", 200)?;
+    let idle_exit = parse_u64(flags, "--idle-exit", 10)?.max(1);
+    let json = has_flag(args, "--json");
+    let checkpoint_path = flag_value(flags, "--checkpoint");
+
+    let mut engine = match flag_value(flags, "--resume") {
+        Some(cp_path) => {
+            let text = std::fs::read_to_string(cp_path)?;
+            let cp = Checkpoint::from_json(&text)
+                .map_err(|e| CliError::Checkpoint(format!("{cp_path}: {e}")))?;
+            StreamEngine::resume(cp)
+        }
+        None => StreamEngine::start(StreamConfig {
+            shards,
+            channel_capacity: 1024,
+            window: SimDuration::from_secs(window),
+            watermark_lag: SimDuration::from_secs(lag),
+            idle_timeout_ms: (idle_timeout_ms > 0).then_some(idle_timeout_ms),
+            nap_node: NAP_NODE_ID,
+            keep_tuples: false,
+        }),
+    };
+    let skip = engine.ingested();
+
+    let mut out = String::new();
+    let mut parse_errors = 0u64;
+    let mut seen = 0u64;
+    let mut framer = LineFramer::new();
+    let mut file = std::fs::File::open(path)?;
+    let mut pos = 0u64;
+    let mut idle_polls = 0u64;
+    let write_checkpoint = |engine: &mut StreamEngine| -> Result<(), CliError> {
+        if let Some(cp_path) = checkpoint_path {
+            std::fs::write(cp_path, engine.checkpoint().to_json())?;
+        }
+        Ok(())
+    };
+    let mut process =
+        |engine: &mut StreamEngine, out: &mut String, line: &str| -> Result<(), CliError> {
+            if line.trim().is_empty() {
+                return Ok(());
+            }
+            let Ok(rec) = serde_json::from_str::<LogRecord>(line) else {
+                parse_errors += 1;
+                return Ok(());
+            };
+            seen += 1;
+            if seen <= skip {
+                return Ok(()); // already covered by the resumed checkpoint
+            }
+            if engine.ingest(rec).is_err() {
+                return Err(CliError::Usage("streaming engine shut down".into()));
+            }
+            if snapshot_every > 0 && engine.ingested().is_multiple_of(snapshot_every) {
+                if !json {
+                    out.push_str(&render_stream_snapshot(
+                        &engine.snapshot(),
+                        &format!("{} ingested", engine.ingested()),
+                    ));
+                }
+                if let Some(cp_path) = checkpoint_path {
+                    std::fs::write(cp_path, engine.checkpoint().to_json())?;
                 }
             }
+            Ok(())
+        };
+    loop {
+        file.seek(SeekFrom::Start(pos))?;
+        let mut chunk = String::new();
+        file.read_to_string(&mut chunk)?;
+        pos += chunk.len() as u64;
+        if chunk.is_empty() {
+            if !follow {
+                break;
+            }
+            idle_polls += 1;
+            if idle_polls >= idle_exit {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            continue;
         }
-        out.push_str(&format!(
-            "{:<24} n={:<5} dominant: {} {:.1}%\n",
-            f.label(),
-            m.total(f),
-            best.0,
-            best.1
-        ));
+        idle_polls = 0;
+        for line in framer.push(&chunk) {
+            process(&mut engine, &mut out, &line)?;
+        }
     }
-    Ok(out)
+    if let Some(last) = framer.finish() {
+        process(&mut engine, &mut out, &last)?;
+    }
+    write_checkpoint(&mut engine)?;
+    let outcome = engine.finish();
+    let snap = &outcome.snapshot;
+    if json {
+        out.push_str(&serde_json::to_string(snap).expect("snapshot serializes"));
+        out.push('\n');
+    } else {
+        out.push_str(&render_stream_snapshot(snap, "end of stream"));
+        if parse_errors > 0 || !outcome.quarantine.is_clean() {
+            out.push_str(&format!(
+                "trace health: {parse_errors} undecodable lines, {} late records quarantined\n",
+                snap.late_quarantined
+            ));
+        }
+    }
+    let unhealthy = parse_errors > 0 || snap.late_quarantined > 0;
+    Ok(CliOutcome {
+        output: out,
+        status: if unhealthy { EXIT_QUARANTINE } else { 0 },
+    })
 }
 
 fn cmd_table4(args: &[String]) -> Result<String, CliError> {
     let scale = scale_from(args)?;
     let max_retries = flag_value(args, "--max-retries")
         .map(|v| {
-            v.parse::<u32>()
-                .map_err(|_| CliError::Usage(format!("--max-retries expects an integer, got `{v}`")))
+            v.parse::<u32>().map_err(|_| {
+                CliError::Usage(format!("--max-retries expects an integer, got `{v}`"))
+            })
         })
         .transpose()?;
     let seed_timeout = flag_value(args, "--seed-timeout")
         .map(|v| {
-            v.parse::<u64>().map(std::time::Duration::from_secs).map_err(|_| {
-                CliError::Usage(format!("--seed-timeout expects whole seconds, got `{v}`"))
-            })
+            v.parse::<u64>()
+                .map(std::time::Duration::from_secs)
+                .map_err(|_| {
+                    CliError::Usage(format!("--seed-timeout expects whole seconds, got `{v}`"))
+                })
         })
         .transpose()?;
     if max_retries.is_none() && seed_timeout.is_none() {
@@ -301,7 +592,6 @@ fn cmd_markov(args: &[String]) -> Result<String, CliError> {
     }
     Ok(out)
 }
-
 
 /// Renders the full Bluetooth PAN failure model (paper Table 1 plus the
 /// reconstructed Table 2/3 profiles) as Markdown — the reference a
@@ -434,6 +724,137 @@ mod tests {
         assert!(out.contains("line 1:"), "{out}");
         assert!(out.contains("related failures"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_import_json_report_and_exit_code() {
+        let path = std::env::temp_dir().join("btpan_cli_lenient_json_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "6", "--seed", "9", "--export", path_s,
+        ]))
+        .unwrap();
+        // Healthy trace: zero quarantine, exit 0.
+        let outcome = run_cli(&args(&["analyze", path_s, "--lenient-import", "--json"])).unwrap();
+        assert_eq!(outcome.status, 0);
+        assert!(
+            outcome.output.contains("\"quarantined\":0"),
+            "{}",
+            outcome.output
+        );
+        // Corrupt one line: quarantine counts in the JSON report and the
+        // distinct trace-health exit code.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(0, "!!not a record!!\n");
+        std::fs::write(&path, &text).unwrap();
+        let outcome = run_cli(&args(&["analyze", path_s, "--lenient-import", "--json"])).unwrap();
+        assert_eq!(outcome.status, EXIT_QUARANTINE);
+        assert!(
+            outcome.output.contains("\"quarantined\":1"),
+            "{}",
+            outcome.output
+        );
+        assert!(
+            outcome.output.contains("\"imported\":"),
+            "{}",
+            outcome.output
+        );
+        // Prose mode gates the same way.
+        let outcome = run_cli(&args(&["analyze", path_s, "--lenient-import"])).unwrap();
+        assert_eq!(outcome.status, EXIT_QUARANTINE);
+        // Strict import on a clean trace still exits 0.
+        std::fs::write(&path, text.lines().skip(1).collect::<Vec<_>>().join("\n")).unwrap();
+        let outcome = run_cli(&args(&["analyze", path_s])).unwrap();
+        assert_eq!(outcome.status, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_matches_analyze_on_exported_trace() {
+        let path = std::env::temp_dir().join("btpan_cli_stream_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "6", "--seed", "11", "--export", path_s,
+        ]))
+        .unwrap();
+        let outcome = run_cli(&args(&["stream", path_s])).unwrap();
+        assert_eq!(outcome.status, 0, "{}", outcome.output);
+        assert!(
+            outcome.output.contains("end of stream"),
+            "{}",
+            outcome.output
+        );
+        assert!(outcome.output.contains("table4:"), "{}", outcome.output);
+        // The streamed Table 2 rows must equal the batch analyze rows.
+        let analyze = run(&args(&["analyze", path_s])).unwrap();
+        for line in analyze.lines().skip(1) {
+            assert!(
+                outcome.output.contains(line.trim()),
+                "missing batch row `{line}` in streaming output:\n{}",
+                outcome.output
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_checkpoint_then_resume_skips_covered_prefix() {
+        let trace = std::env::temp_dir().join("btpan_cli_stream_cp_trace.jsonl");
+        let cp = std::env::temp_dir().join("btpan_cli_stream_cp.json");
+        let trace_s = trace.to_str().expect("utf8 temp path");
+        let cp_s = cp.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "4", "--seed", "5", "--export", trace_s,
+        ]))
+        .unwrap();
+        let first = run_cli(&args(&["stream", trace_s, "--json", "--checkpoint", cp_s])).unwrap();
+        assert_eq!(first.status, 0);
+        // Resume from the final checkpoint over the same trace: every
+        // record is already covered, and the snapshot is unchanged.
+        let resumed = run_cli(&args(&["stream", trace_s, "--json", "--resume", cp_s])).unwrap();
+        assert_eq!(first.output, resumed.output);
+        let err = run_cli(&args(&["stream", trace_s, "--resume", trace_s])).unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)));
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&cp).ok();
+    }
+
+    #[test]
+    fn stream_follow_quiesces_and_flags_bad_lines() {
+        let path = std::env::temp_dir().join("btpan_cli_stream_follow_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "4", "--seed", "7", "--export", path_s,
+        ]))
+        .unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("%%garbage%%\n");
+        std::fs::write(&path, &text).unwrap();
+        let outcome = run_cli(&args(&[
+            "stream",
+            path_s,
+            "--follow",
+            "--poll-ms",
+            "10",
+            "--idle-exit",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(outcome.status, EXIT_QUARANTINE, "{}", outcome.output);
+        assert!(
+            outcome.output.contains("1 undecodable lines"),
+            "{}",
+            outcome.output
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_requires_path_and_valid_flags() {
+        let err = run_cli(&args(&["stream"])).unwrap_err();
+        assert!(err.to_string().contains("needs a trace path"));
+        let err = run_cli(&args(&["stream", "/nonexistent/trace.jsonl"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
     }
 
     #[test]

@@ -10,12 +10,8 @@ use crate::machine::paper_machines;
 use crate::machine::NAP_NODE_ID;
 use crate::runner::run_seeds;
 use crate::supervisor::{run_supervised, SupervisorConfig};
-use btpan_analysis::dependability::{
-    ConfidenceInterval, DependabilityReport, ScenarioMeasurement,
-};
-use btpan_analysis::distributions::{
-    self, AgeHistogram, ShareTable,
-};
+use btpan_analysis::dependability::{ConfidenceInterval, DependabilityReport, ScenarioMeasurement};
+use btpan_analysis::distributions::{self, AgeHistogram, ShareTable};
 use btpan_analysis::ttf::TtfTtrSeries;
 use btpan_collect::relate::RelationshipMatrix;
 use btpan_collect::sensitivity::SensitivityCurve;
@@ -91,12 +87,8 @@ pub fn table2(scale: &Scale, window: SimDuration) -> RelationshipMatrix {
             .into_iter()
             .map(|n| (n, result.repository.records_of(n)))
             .collect();
-        let m = RelationshipMatrix::from_node_logs(
-            &node_streams,
-            &nap_records,
-            NAP_NODE_ID,
-            window,
-        );
+        let m =
+            RelationshipMatrix::from_node_logs(&node_streams, &nap_records, NAP_NODE_ID, window);
         matrix.absorb(&m);
     }
     matrix
@@ -185,6 +177,62 @@ pub fn table4(scale: &Scale) -> DependabilityReport {
         ));
     }
     DependabilityReport::new(scenarios)
+}
+
+/// The streaming/batch cross-check of [`table4_streaming`].
+#[derive(Debug, Clone)]
+pub struct StreamingCrossCheck {
+    /// End-of-stream snapshot from the sharded streaming engine.
+    pub streaming: btpan_stream::StreamSnapshot,
+    /// The batch reference pipeline on the same records.
+    pub batch: btpan_stream::StreamSnapshot,
+}
+
+impl StreamingCrossCheck {
+    /// True when the streaming analysis is bit-identical to batch
+    /// (MTTF/MTTR/availability compared by f64 bit pattern).
+    pub fn matches(&self) -> bool {
+        self.streaming.analysis_eq(&self.batch)
+    }
+}
+
+/// **Table 4, streaming** — runs one SIRA campaign per seed, pushes the
+/// collected repository through the threaded `btpan-stream` engine in
+/// canonical order, and cross-checks the end-of-stream snapshot against
+/// the batch reference pipeline on the same records.
+///
+/// # Panics
+///
+/// Panics if the streaming engine dies mid-ingest (worker thread
+/// panic), which would invalidate the comparison anyway.
+pub fn table4_streaming(scale: &Scale) -> StreamingCrossCheck {
+    use btpan_stream::{batch_reference, StreamConfig, StreamEngine, DEFAULT_WINDOW};
+    let config = StreamConfig {
+        shards: 4,
+        channel_capacity: 1024,
+        window: DEFAULT_WINDOW,
+        watermark_lag: DEFAULT_WINDOW * 2,
+        idle_timeout_ms: None,
+        nap_node: NAP_NODE_ID,
+        keep_tuples: false,
+    };
+    let mut records = Vec::new();
+    for result in run_both_workloads(scale, RecoveryPolicy::Siras) {
+        records.extend(result.repository.records());
+    }
+    // Re-sequence the pooled campaigns into one canonical stream.
+    records.sort();
+    for (seq, rec) in records.iter_mut().enumerate() {
+        rec.seq = seq as u64;
+    }
+    let mut engine = StreamEngine::start(config.clone());
+    for rec in records.clone() {
+        engine.ingest(rec).expect("stream engine alive");
+    }
+    StreamingCrossCheck {
+        streaming: engine.finish().snapshot,
+        batch: batch_reference(&records, &config),
+    }
 }
 
 /// One Table 4 column measured under supervision: the measurement plus
@@ -288,8 +336,7 @@ pub fn table4_supervised(scale: &Scale, supervisor: &SupervisorConfig) -> Superv
 pub fn fig3a(scale: &Scale) -> ShareTable {
     let duration = scale.duration;
     let results = run_seeds(&scale.seeds, move |seed| {
-        CampaignConfig::paper(seed, WorkloadKind::Random, RecoveryPolicy::Siras)
-            .duration(duration)
+        CampaignConfig::paper(seed, WorkloadKind::Random, RecoveryPolicy::Siras).duration(duration)
     });
     let mut table = ShareTable::new();
     for r in results {
@@ -350,15 +397,11 @@ pub fn fig4(scale: &Scale) -> BTreeMap<UserFailure, ShareTable> {
     let mut merged: BTreeMap<UserFailure, ShareTable> = BTreeMap::new();
     for r in results {
         for t in r.repository.tests() {
-            merged
-                .entry(t.failure)
-                .or_default()
-                .add(&node_name(t.node));
+            merged.entry(t.failure).or_default().add(&node_name(t.node));
         }
     }
     merged
 }
-
 
 /// **Extension: Markov availability validation** — fits the analytic
 /// CTMC availability model from measured per-type rates and compares
@@ -498,10 +541,7 @@ mod tests {
         let curve = fig2(&tiny());
         assert!(curve.record_count > 50);
         let knee = curve.knee();
-        assert!(
-            (30.0..3_000.0).contains(&knee),
-            "knee {knee} implausible"
-        );
+        assert!((30.0..3_000.0).contains(&knee), "knee {knee} implausible");
     }
 
     #[test]
@@ -599,12 +639,8 @@ mod extension_tests {
     fn fig3b_variant_runs_only_on_verde_and_win() {
         let duration = SimDuration::from_secs(12 * 3600);
         let results = crate::runner::run_seeds(&[4], move |seed| {
-            let mut cfg = CampaignConfig::paper(
-                seed,
-                WorkloadKind::Random,
-                RecoveryPolicy::Siras,
-            )
-            .duration(duration);
+            let mut cfg = CampaignConfig::paper(seed, WorkloadKind::Random, RecoveryPolicy::Siras)
+                .duration(duration);
             cfg.fig3b_variant = true;
             cfg
         });

@@ -49,10 +49,10 @@ pub mod prelude {
     pub use btpan_collect as collect;
     pub use btpan_faults as faults;
     pub use btpan_recovery as recovery;
+    pub use btpan_recovery::RecoveryPolicy;
     pub use btpan_sim as sim;
+    pub use btpan_sim::prelude::*;
     pub use btpan_stack as stack;
     pub use btpan_workload as workload;
-    pub use btpan_recovery::RecoveryPolicy;
-    pub use btpan_sim::prelude::*;
     pub use btpan_workload::WorkloadKind;
 }

@@ -88,12 +88,13 @@ impl SupervisorConfig {
     /// exponential with a deterministic jitter in `[0, 100%)` of the
     /// step, derived from `(campaign_seed, seed, attempt)`.
     fn backoff(&self, seed: u64, attempt: u32) -> Duration {
-        let step = self
-            .backoff_base
-            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX));
-        let jitter_unit =
-            splitmix64(self.campaign_seed ^ seed.rotate_left(17) ^ u64::from(attempt)) as f64
-                / u64::MAX as f64;
+        let step = self.backoff_base.saturating_mul(
+            1u32.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        );
+        let jitter_unit = splitmix64(self.campaign_seed ^ seed.rotate_left(17) ^ u64::from(attempt))
+            as f64
+            / u64::MAX as f64;
         step + Duration::from_secs_f64(step.as_secs_f64() * jitter_unit)
     }
 }
@@ -191,7 +192,11 @@ enum Event<T> {
 /// Results come back in input-seed order regardless of scheduling, so
 /// for a fixed `work` the outcome's `results` content is deterministic
 /// (verdicts can differ only where wall-clock budgets race real time).
-pub fn run_supervised<T, F>(seeds: &[u64], config: &SupervisorConfig, work: F) -> SupervisedOutcome<T>
+pub fn run_supervised<T, F>(
+    seeds: &[u64],
+    config: &SupervisorConfig,
+    work: F,
+) -> SupervisedOutcome<T>
 where
     T: Send,
     F: Fn(u64) -> T + Send + Sync,
@@ -210,7 +215,9 @@ where
         };
     }
 
-    let workers = thread::available_parallelism().map_or(4, |p| p.get()).min(n);
+    let workers = thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(n);
     let (job_tx, job_rx) = channel::unbounded::<Job>();
     let (event_tx, event_rx) = channel::unbounded::<Event<T>>();
 

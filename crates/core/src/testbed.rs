@@ -77,8 +77,8 @@ impl Testbed {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btpan_stack::sdp::UUID_NAP;
     use crate::machine::NAP_NODE_ID;
+    use btpan_stack::sdp::UUID_NAP;
 
     #[test]
     fn paper_testbed_assembles() {

@@ -410,8 +410,12 @@ mod tests {
         // PDAs do log BCSP causes.
         let saw_bcsp = (0..5_000).any(|_| {
             matches!(
-                inj.materialize(UserFailure::SwitchRoleCommandFailed, HostQuirks::pda(), &mut r)
-                    .cause,
+                inj.materialize(
+                    UserFailure::SwitchRoleCommandFailed,
+                    HostQuirks::pda(),
+                    &mut r
+                )
+                .cause,
                 Some((SystemComponent::Bcsp, _))
             )
         });
@@ -516,9 +520,15 @@ mod tests {
         let control_mix: f64 = FAILURE_MIX.iter().sum::<f64>() - FAILURE_MIX[8] - FAILURE_MIX[9];
         let expect_bind = FAILURE_MIX[5] / control_mix;
         let got_bind = counts[5] as f64 / total as f64;
-        assert!((got_bind - expect_bind).abs() < 0.06, "bind {got_bind} vs {expect_bind}");
+        assert!(
+            (got_bind - expect_bind).abs() < 0.06,
+            "bind {got_bind} vs {expect_bind}"
+        );
         let expect_nnf = FAILURE_MIX[2] / control_mix;
         let got_nnf = counts[2] as f64 / total as f64;
-        assert!((got_nnf - expect_nnf).abs() < 0.06, "nnf {got_nnf} vs {expect_nnf}");
+        assert!(
+            (got_nnf - expect_nnf).abs() < 0.06,
+            "nnf {got_nnf} vs {expect_nnf}"
+        );
     }
 }

@@ -155,11 +155,9 @@ pub fn cause_profile(failure: UserFailure) -> CauseProfile {
             vec![w(Sdp, Local, 50.9), w(Sdp, Nap, 20.0), w(Hci, Local, 20.1)],
             9.0,
         ),
-        UserFailure::NapNotFound => CauseProfile::new(
-            failure,
-            vec![w(Sdp, Local, 79.8), w(Sdp, Nap, 20.2)],
-            0.0,
-        ),
+        UserFailure::NapNotFound => {
+            CauseProfile::new(failure, vec![w(Sdp, Local, 79.8), w(Sdp, Nap, 20.2)], 0.0)
+        }
         UserFailure::ConnectFailed => CauseProfile::new(
             failure,
             vec![
@@ -170,11 +168,9 @@ pub fn cause_profile(failure: UserFailure) -> CauseProfile {
             ],
             0.0,
         ),
-        UserFailure::PanConnectFailed => CauseProfile::new(
-            failure,
-            vec![w(Sdp, Local, 96.5), w(Hci, Local, 3.5)],
-            0.0,
-        ),
+        UserFailure::PanConnectFailed => {
+            CauseProfile::new(failure, vec![w(Sdp, Local, 96.5), w(Hci, Local, 3.5)], 0.0)
+        }
         UserFailure::BindFailed => CauseProfile::new(
             failure,
             vec![
@@ -304,8 +300,7 @@ mod tests {
     fn all_cause_rows_valid() {
         for f in UserFailure::ALL {
             let p = cause_profile(f);
-            let total: f64 =
-                p.causes().iter().map(|c| c.percent).sum::<f64>() + p.none_percent();
+            let total: f64 = p.causes().iter().map(|c| c.percent).sum::<f64>() + p.none_percent();
             assert!((total - 100.0).abs() < 0.5, "{f} row {total}");
         }
     }
@@ -334,8 +329,14 @@ mod tests {
         assert!((sc.percent_for(L2cap, Local) - 0.9).abs() < 1e-9);
         assert!((sc.percent_for(L2cap, Nap) - 4.4).abs() < 1e-9);
         // Inquiry/scan and data mismatch: no relationships found.
-        assert_eq!(cause_profile(UserFailure::InquiryScanFailed).none_percent(), 100.0);
-        assert_eq!(cause_profile(UserFailure::DataMismatch).none_percent(), 100.0);
+        assert_eq!(
+            cause_profile(UserFailure::InquiryScanFailed).none_percent(),
+            100.0
+        );
+        assert_eq!(
+            cause_profile(UserFailure::DataMismatch).none_percent(),
+            100.0
+        );
     }
 
     #[test]
@@ -347,18 +348,41 @@ mod tests {
                 .iter()
                 .map(|&f| {
                     let p = cause_profile(f);
-                    FAILURE_MIX[f.index()]
-                        * (p.percent_for(comp, Local) + p.percent_for(comp, Nap))
+                    FAILURE_MIX[f.index()] * (p.percent_for(comp, Local) + p.percent_for(comp, Nap))
                         / 100.0
                 })
                 .sum()
         };
-        assert!((total_for(Hci) - 49.9).abs() < 1.0, "HCI {}", total_for(Hci));
-        assert!((total_for(Sdp) - 21.1).abs() < 1.0, "SDP {}", total_for(Sdp));
-        assert!((total_for(L2cap) - 11.4).abs() < 1.5, "L2CAP {}", total_for(L2cap));
-        assert!((total_for(Bnep) - 8.5).abs() < 1.0, "BNEP {}", total_for(Bnep));
-        assert!((total_for(Hotplug) - 7.0).abs() < 0.5, "HOTPLUG {}", total_for(Hotplug));
-        assert!((total_for(Bcsp) - 1.1).abs() < 0.5, "BCSP {}", total_for(Bcsp));
+        assert!(
+            (total_for(Hci) - 49.9).abs() < 1.0,
+            "HCI {}",
+            total_for(Hci)
+        );
+        assert!(
+            (total_for(Sdp) - 21.1).abs() < 1.0,
+            "SDP {}",
+            total_for(Sdp)
+        );
+        assert!(
+            (total_for(L2cap) - 11.4).abs() < 1.5,
+            "L2CAP {}",
+            total_for(L2cap)
+        );
+        assert!(
+            (total_for(Bnep) - 8.5).abs() < 1.0,
+            "BNEP {}",
+            total_for(Bnep)
+        );
+        assert!(
+            (total_for(Hotplug) - 7.0).abs() < 0.5,
+            "HOTPLUG {}",
+            total_for(Hotplug)
+        );
+        assert!(
+            (total_for(Bcsp) - 1.1).abs() < 0.5,
+            "BCSP {}",
+            total_for(Bcsp)
+        );
         assert!((total_for(Usb) - 1.0).abs() < 0.5, "USB {}", total_for(Usb));
     }
 
@@ -377,7 +401,10 @@ mod tests {
     #[test]
     fn sira_prose_constraints() {
         // NAP not found: stack reset 61.4 %.
-        assert_eq!(SiraProfiles::row(UserFailure::NapNotFound).unwrap()[2], 61.4);
+        assert_eq!(
+            SiraProfiles::row(UserFailure::NapNotFound).unwrap()[2],
+            61.4
+        );
         // Packet loss: IP socket reset 5.9 %.
         assert_eq!(SiraProfiles::row(UserFailure::PacketLoss).unwrap()[0], 5.9);
         // Connect failed: 84.6 % at severity >= app restart.
@@ -428,16 +455,15 @@ mod tests {
         assert_eq!(counts[1], 0);
         let stack_reset = counts[2] as f64 / n as f64;
         assert!((stack_reset - 0.614).abs() < 0.01, "stack {stack_reset}");
-        assert!(
-            SiraProfiles::sample_severity(UserFailure::DataMismatch, &mut rng).is_none()
-        );
+        assert!(SiraProfiles::sample_severity(UserFailure::DataMismatch, &mut rng).is_none());
     }
 
     #[test]
     fn unrecoverable_failure_has_zero_coverage() {
-        assert_eq!(SiraProfiles::coverage_1_to_3(UserFailure::DataMismatch), 0.0);
-        assert!(
-            (SiraProfiles::coverage_1_to_3(UserFailure::BindFailed) - 67.9).abs() < 1e-9
+        assert_eq!(
+            SiraProfiles::coverage_1_to_3(UserFailure::DataMismatch),
+            0.0
         );
+        assert!((SiraProfiles::coverage_1_to_3(UserFailure::BindFailed) - 67.9).abs() < 1e-9);
     }
 }

@@ -167,7 +167,10 @@ impl SystemComponent {
     pub const fn is_bt_stack(self) -> bool {
         matches!(
             self,
-            SystemComponent::Hci | SystemComponent::L2cap | SystemComponent::Sdp | SystemComponent::Bnep
+            SystemComponent::Hci
+                | SystemComponent::L2cap
+                | SystemComponent::Sdp
+                | SystemComponent::Bnep
         )
     }
 

@@ -152,11 +152,16 @@ mod tests {
     fn reboot_only_always_reboots() {
         let costs = SiraCosts::default();
         let mut r = rng();
-        let out = RecoveryPolicy::RebootOnly.recover(UserFailure::BindFailed, &costs, false, &mut r);
+        let out =
+            RecoveryPolicy::RebootOnly.recover(UserFailure::BindFailed, &costs, false, &mut r);
         assert_eq!(out.attempted, vec![Sira::SystemReboot]);
         assert!(out.rebooted());
         // MTTR of the reboot scenario ≈ 260 s + detection (paper 285.92).
-        let m = mean_ttr(RecoveryPolicy::RebootOnly, UserFailure::ConnectFailed, 3_000);
+        let m = mean_ttr(
+            RecoveryPolicy::RebootOnly,
+            UserFailure::ConnectFailed,
+            3_000,
+        );
         assert!((m - 262.0).abs() < 20.0, "reboot-only mttr {m}");
     }
 
@@ -190,9 +195,7 @@ mod tests {
         let weighted = |policy: RecoveryPolicy| -> f64 {
             UserFailure::ALL
                 .iter()
-                .map(|&f| {
-                    btpan_faults::FAILURE_MIX[f.index()] / 100.0 * mean_ttr(policy, f, 1_500)
-                })
+                .map(|&f| btpan_faults::FAILURE_MIX[f.index()] / 100.0 * mean_ttr(policy, f, 1_500))
                 .sum()
         };
         let reboot = weighted(RecoveryPolicy::RebootOnly);

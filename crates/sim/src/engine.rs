@@ -281,8 +281,12 @@ mod tests {
     fn pending_count() {
         let mut engine: Engine<u32> = Engine::new();
         assert_eq!(engine.scheduler().pending(), 0);
-        engine.scheduler().schedule_after(SimDuration::from_secs(1), 1);
-        engine.scheduler().schedule_after(SimDuration::from_secs(2), 2);
+        engine
+            .scheduler()
+            .schedule_after(SimDuration::from_secs(1), 1);
+        engine
+            .scheduler()
+            .schedule_after(SimDuration::from_secs(2), 2);
         assert_eq!(engine.scheduler().pending(), 2);
     }
 }

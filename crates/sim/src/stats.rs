@@ -98,6 +98,38 @@ impl RunningStats {
         self.max = self.max.max(other.max);
     }
 
+    /// Raw sum of squared deviations (the Welford `M2` term). Exposed so
+    /// checkpointing code can persist and restore the exact accumulator
+    /// state; see [`RunningStats::from_raw`].
+    pub fn raw_m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from raw state captured via `count()`,
+    /// `mean()`, `raw_m2()`, `min()`, `max()`. With `n == 0` the other
+    /// arguments are ignored and an empty accumulator is returned, so
+    /// callers can persist zeros instead of the infinity sentinels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-finite while `n > 0`.
+    pub fn from_raw(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if n == 0 {
+            return RunningStats::new();
+        }
+        assert!(
+            mean.is_finite() && m2.is_finite() && min.is_finite() && max.is_finite(),
+            "non-finite raw stats"
+        );
+        RunningStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Immutable snapshot of the accumulated statistics.
     pub fn summary(&self) -> Summary {
         Summary {
@@ -268,7 +300,9 @@ mod tests {
 
     #[test]
     fn running_stats_known_values() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         // sample variance with n-1: sum sq dev = 32, /7
@@ -322,6 +356,22 @@ mod tests {
         e.merge(&s);
         assert_eq!(e.count(), 2);
         assert_eq!(e.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let s: RunningStats = [2.0, 4.0, 9.0].into_iter().collect();
+        let r = RunningStats::from_raw(
+            s.count(),
+            s.mean().unwrap(),
+            s.raw_m2(),
+            s.min().unwrap(),
+            s.max().unwrap(),
+        );
+        assert_eq!(r, s);
+        // Empty round trip ignores the placeholder fields.
+        let e = RunningStats::from_raw(0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(e, RunningStats::new());
     }
 
     #[test]

@@ -20,11 +20,15 @@ pub const SLOT: SimDuration = SimDuration::from_micros(625);
 /// let t = SimTime::ZERO + SimDuration::from_secs(2);
 /// assert_eq!(t.as_micros(), 2_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -233,7 +237,10 @@ mod tests {
     fn time_arithmetic_round_trips() {
         let t = SimTime::from_secs(3) + SimDuration::from_millis(500);
         assert_eq!(t.as_micros(), 3_500_000);
-        assert_eq!(t.since(SimTime::from_secs(3)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs(3)),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(t - SimDuration::from_millis(500), SimTime::from_secs(3));
     }
 
@@ -268,7 +275,10 @@ mod tests {
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5), SimDuration::from_secs(3));
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(1.5),
+            SimDuration::from_secs(3)
+        );
         assert_eq!(SimDuration::from_secs(2) * 3, SimDuration::from_secs(6));
         assert_eq!(SimDuration::from_secs(6) / 3, SimDuration::from_secs(2));
     }

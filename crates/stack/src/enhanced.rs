@@ -179,13 +179,12 @@ mod tests {
         let mut rng = SimRng::seed_from(0xE1);
         for i in 0..5_000 {
             let now = SimTime::from_secs(20 * i);
-            let conn = stack.connect_and_bind(now, &mut rng).expect("robust connect");
+            let conn = stack
+                .connect_and_bind(now, &mut rng)
+                .expect("robust connect");
             assert!(conn.returned_at >= now);
             assert!(conn.connection.ready(conn.returned_at));
-            assert_eq!(
-                stack.socket().state(),
-                crate::socket::SocketState::Bound
-            );
+            assert_eq!(stack.socket().state(), crate::socket::SocketState::Bound);
             stack.disconnect().expect("disconnect");
         }
     }

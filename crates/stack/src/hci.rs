@@ -152,12 +152,7 @@ impl HciController {
     /// * [`HciError::CommandTimeout`] — when `busy` is true the firmware
     ///   cannot take the command in time (connection request on a busy
     ///   device, the paper's dominant Connect-failed cause).
-    pub fn command(
-        &mut self,
-        handle: HciHandle,
-        now: SimTime,
-        busy: bool,
-    ) -> Result<(), HciError> {
+    pub fn command(&mut self, handle: HciHandle, now: SimTime, busy: bool) -> Result<(), HciError> {
         self.commands_issued += 1;
         if busy {
             return Err(HciError::CommandTimeout);
@@ -243,9 +238,7 @@ mod tests {
     #[test]
     fn busy_device_times_out() {
         let mut hci = HciController::default();
-        let h = hci
-            .create_connection(t(0), SimDuration::ZERO)
-            .unwrap();
+        let h = hci.create_connection(t(0), SimDuration::ZERO).unwrap();
         assert_eq!(hci.command(h, t(1), true), Err(HciError::CommandTimeout));
         assert_eq!(hci.command(h, t(1), false), Ok(()));
     }

@@ -14,9 +14,9 @@ use crate::pan::{PanError, PanProfile};
 use crate::sdp::SdpDatabase;
 use crate::socket::IpSocket;
 use crate::transport::{BcspTransport, Transport, TransportError, TransportKind, UsbTransport};
+use btpan_faults::HostQuirks;
 use btpan_sim::prelude::*;
 use btpan_sim::time::{SimDuration, SimTime};
-use btpan_faults::HostQuirks;
 
 /// Which protocol stack implementation the host runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,7 +180,11 @@ impl BtHost {
     /// Typical duration of one reboot on this host class (PDAs boot
     /// slower).
     pub fn reboot_duration(&self, rng: &mut SimRng) -> SimDuration {
-        let mean = if self.config.quirks.is_pda { 340.0 } else { 260.0 };
+        let mean = if self.config.quirks.is_pda {
+            340.0
+        } else {
+            260.0
+        };
         let d = LogNormal::from_mean_cv(mean, 0.35).expect("valid lognormal");
         SimDuration::from_secs_f64(d.sample(rng).clamp(30.0, 7200.0))
     }

@@ -156,7 +156,10 @@ mod tests {
         let total = f64::from(before_tc + after_tc) / n as f64;
         let expect = d.p_immediate_bind_failure(bind_after); // ≈ 0.0603
         assert!((total - expect).abs() < 0.002, "total {total} vs {expect}");
-        assert!((expect - 0.01097).abs() < 0.0005, "calibration drifted: {expect}");
+        assert!(
+            (expect - 0.01097).abs() < 0.0005,
+            "calibration drifted: {expect}"
+        );
         // Cause split ≈ 60/40 HCI vs hotplug (Table 2 bind row).
         let hci_share = f64::from(before_tc) / f64::from(before_tc + after_tc);
         assert!((hci_share - 0.596).abs() < 0.05, "hci share {hci_share}");

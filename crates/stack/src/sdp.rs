@@ -121,7 +121,10 @@ impl SdpDatabase {
         if refused {
             return Err(SdpError::ConnectionRefused);
         }
-        let record = self.records.get(&uuid).ok_or(SdpError::ServiceNotReturned)?;
+        let record = self
+            .records
+            .get(&uuid)
+            .ok_or(SdpError::ServiceNotReturned)?;
         if dropped_from_reply {
             return Err(SdpError::ServiceNotReturned);
         }

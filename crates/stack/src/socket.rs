@@ -127,7 +127,11 @@ impl IpSocket {
     /// hotplug notify interface-up). Returns the instant the bind
     /// actually completed.
     pub fn bind_masked(&mut self, conn: &PanConnection, now: SimTime) -> SimTime {
-        let at = if conn.ready(now) { now } else { conn.ready_at() };
+        let at = if conn.ready(now) {
+            now
+        } else {
+            conn.ready_at()
+        };
         self.bind(conn, at).expect("bind after readiness succeeds");
         at
     }
@@ -172,7 +176,9 @@ mod tests {
         let mut pan = PanProfile::new(HotplugDaemon::hal_bug());
         let mut hci = HciController::default();
         let mut r = SimRng::seed_from(seed);
-        pan.connect(SimTime::ZERO, &mut hci, &mut r).unwrap().clone()
+        pan.connect(SimTime::ZERO, &mut hci, &mut r)
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -259,7 +265,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(BindError::HciInvalidHandle.to_string().contains("invalid handle"));
+        assert!(BindError::HciInvalidHandle
+            .to_string()
+            .contains("invalid handle"));
         assert!(BindError::InterfaceMissing.to_string().contains("bnep0"));
     }
 }

@@ -186,11 +186,7 @@ impl BcspTransport {
             self.expected_seq = self.expected_seq.wrapping_add(1);
             self.delivered += 1;
             // Drain any buffered successors now in order.
-            while let Some(pos) = self
-                .pending
-                .iter()
-                .position(|f| f.seq == self.expected_seq)
-            {
+            while let Some(pos) = self.pending.iter().position(|f| f.seq == self.expected_seq) {
                 self.pending.remove(pos);
                 self.expected_seq = self.expected_seq.wrapping_add(1);
                 self.delivered += 1;
@@ -344,7 +340,9 @@ mod tests {
             TransportError::UsbAddressRejected.to_string(),
             "usb: device not accepting address"
         );
-        assert!(TransportError::BcspOutOfOrder.to_string().contains("out of order"));
+        assert!(TransportError::BcspOutOfOrder
+            .to_string()
+            .contains("out of order"));
         assert_eq!(TransportKind::Bcsp.to_string(), "BCSP");
     }
 

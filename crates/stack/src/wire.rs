@@ -144,7 +144,12 @@ pub mod hci {
                     out.extend_from_slice(params);
                     out
                 }
-                Packet::AclData { handle, pb, bc, data } => {
+                Packet::AclData {
+                    handle,
+                    pb,
+                    bc,
+                    data,
+                } => {
                     assert!(*handle < 0x1000, "handle is 12 bits");
                     assert!(*pb < 4 && *bc < 4, "flags are 2 bits");
                     assert!(data.len() <= 0xFFFF, "ACL payload cap");
@@ -171,11 +176,16 @@ pub mod hci {
         /// [`WireError`] for truncation, bad lengths or unknown
         /// indicators.
         pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
-            let ind = *bytes.first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+            let ind = *bytes
+                .first()
+                .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
             match ind {
                 IND_COMMAND => {
                     if bytes.len() < 4 {
-                        return Err(WireError::Truncated { needed: 4, got: bytes.len() });
+                        return Err(WireError::Truncated {
+                            needed: 4,
+                            got: bytes.len(),
+                        });
                     }
                     let opcode = u16::from_le_bytes([bytes[1], bytes[2]]);
                     let plen = bytes[3] as usize;
@@ -194,7 +204,10 @@ pub mod hci {
                 }
                 IND_ACL => {
                     if bytes.len() < 5 {
-                        return Err(WireError::Truncated { needed: 5, got: bytes.len() });
+                        return Err(WireError::Truncated {
+                            needed: 5,
+                            got: bytes.len(),
+                        });
                     }
                     let word = u16::from_le_bytes([bytes[1], bytes[2]]);
                     let dlen = u16::from_le_bytes([bytes[3], bytes[4]]) as usize;
@@ -214,7 +227,10 @@ pub mod hci {
                 }
                 IND_EVENT => {
                     if bytes.len() < 3 {
-                        return Err(WireError::Truncated { needed: 3, got: bytes.len() });
+                        return Err(WireError::Truncated {
+                            needed: 3,
+                            got: bytes.len(),
+                        });
                     }
                     let plen = bytes[2] as usize;
                     let params = &bytes[3..];
@@ -273,7 +289,10 @@ pub mod l2cap {
         /// [`WireError`] on truncation or length mismatch.
         pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
             if bytes.len() < 4 {
-                return Err(WireError::Truncated { needed: 4, got: bytes.len() });
+                return Err(WireError::Truncated {
+                    needed: 4,
+                    got: bytes.len(),
+                });
             }
             let len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
             let cid = u16::from_le_bytes([bytes[2], bytes[3]]);
@@ -358,7 +377,10 @@ pub mod l2cap {
         /// [`WireError`] on truncation, bad length, or unknown code.
         pub fn decode(bytes: &[u8]) -> Result<(Signal, u8), WireError> {
             if bytes.len() < 4 {
-                return Err(WireError::Truncated { needed: 4, got: bytes.len() });
+                return Err(WireError::Truncated {
+                    needed: 4,
+                    got: bytes.len(),
+                });
             }
             let code = bytes[0];
             let id = bytes[1];
@@ -452,7 +474,12 @@ pub mod bnep {
         /// needs no extension headers on the data path).
         pub fn encode(&self) -> Vec<u8> {
             match self {
-                Packet::GeneralEthernet { dst, src, proto, payload } => {
+                Packet::GeneralEthernet {
+                    dst,
+                    src,
+                    proto,
+                    payload,
+                } => {
                     let mut out = vec![TYPE_GENERAL_ETHERNET];
                     out.extend_from_slice(dst);
                     out.extend_from_slice(src);
@@ -476,14 +503,19 @@ pub mod bnep {
         /// [`WireError`] for truncation, unknown types, or a set
         /// extension bit (unsupported on the data path).
         pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
-            let head = *bytes.first().ok_or(WireError::Truncated { needed: 1, got: 0 })?;
+            let head = *bytes
+                .first()
+                .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
             if head & 0x80 != 0 {
                 return Err(WireError::IllegalField("extension bit"));
             }
             match head & 0x7F {
                 TYPE_GENERAL_ETHERNET => {
                     if bytes.len() < 15 {
-                        return Err(WireError::Truncated { needed: 15, got: bytes.len() });
+                        return Err(WireError::Truncated {
+                            needed: 15,
+                            got: bytes.len(),
+                        });
                     }
                     let mut dst = [0u8; 6];
                     let mut src = [0u8; 6];
@@ -498,7 +530,10 @@ pub mod bnep {
                 }
                 TYPE_COMPRESSED_ETHERNET => {
                     if bytes.len() < 3 {
-                        return Err(WireError::Truncated { needed: 3, got: bytes.len() });
+                        return Err(WireError::Truncated {
+                            needed: 3,
+                            got: bytes.len(),
+                        });
                     }
                     Ok(Packet::CompressedEthernet {
                         proto: u16::from_be_bytes([bytes[1], bytes[2]]),
@@ -560,7 +595,10 @@ mod tests {
         // declared 5 params, provide 2
         assert!(matches!(
             hci::Packet::decode(&[0x01, 0x01, 0x04, 5, 1, 2]),
-            Err(WireError::LengthMismatch { declared: 5, actual: 2 })
+            Err(WireError::LengthMismatch {
+                declared: 5,
+                actual: 2
+            })
         ));
     }
 
@@ -588,9 +626,19 @@ mod tests {
     #[test]
     fn l2cap_signals_round_trip() {
         let signals = [
-            l2cap::Signal::ConnectionRequest { psm: 0x000F, scid: 0x0040 },
-            l2cap::Signal::ConnectionResponse { dcid: 0x0041, scid: 0x0040, result: 0 },
-            l2cap::Signal::DisconnectionRequest { dcid: 0x0041, scid: 0x0040 },
+            l2cap::Signal::ConnectionRequest {
+                psm: 0x000F,
+                scid: 0x0040,
+            },
+            l2cap::Signal::ConnectionResponse {
+                dcid: 0x0041,
+                scid: 0x0040,
+                result: 0,
+            },
+            l2cap::Signal::DisconnectionRequest {
+                dcid: 0x0041,
+                scid: 0x0040,
+            },
         ];
         for (i, s) in signals.iter().enumerate() {
             let bytes = s.encode(i as u8 + 1);
@@ -631,7 +679,10 @@ mod tests {
             proto: 0x0806,
             payload: vec![0; 28],
         };
-        assert_eq!(bnep::Packet::decode(&compressed.encode()).unwrap(), compressed);
+        assert_eq!(
+            bnep::Packet::decode(&compressed.encode()).unwrap(),
+            compressed
+        );
     }
 
     #[test]

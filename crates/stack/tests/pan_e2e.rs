@@ -34,13 +34,18 @@ fn full_bluetest_cycle_on_the_real_stack() {
     assert!(inquiry.devices.contains(&nap_id));
 
     // Phase 2: SDP search resolves the NAP service.
-    let record = nap_db.search(UUID_NAP, false, false).expect("NAP advertised");
+    let record = nap_db
+        .search(UUID_NAP, false, false)
+        .expect("NAP advertised");
     assert_eq!(record.provider, nap_id);
 
     // Phase 3: PAN connect (async API returning before T_C/T_H).
     let now = SimTime::from_secs(10);
     let conn = host.pan_connect(now, &mut rng).expect("connect");
-    assert!(!conn.ready(now), "API must return before the interface is up");
+    assert!(
+        !conn.ready(now),
+        "API must return before the interface is up"
+    );
 
     // Phase 4: bind — masked wait makes it race-free.
     let bound_at = host.socket.bind_masked(&conn, now);
@@ -79,9 +84,12 @@ fn pda_cycle_over_bcsp_transport() {
     });
     // The BCSP transport carries the HCI command stream.
     for _ in 0..200 {
-        host.transport_send(b"hci-cmd", &mut rng).expect("bcsp delivers");
+        host.transport_send(b"hci-cmd", &mut rng)
+            .expect("bcsp delivers");
     }
-    let conn = host.pan_connect(SimTime::from_secs(1), &mut rng).expect("connect");
+    let conn = host
+        .pan_connect(SimTime::from_secs(1), &mut rng)
+        .expect("connect");
     host.socket.bind_masked(&conn, SimTime::from_secs(1));
     host.reboot();
     assert_eq!(host.reboots(), 1);

@@ -1,0 +1,81 @@
+//! The batch reference: the exact DSN-2006 pipeline (dedup → merge →
+//! coalesce → relate) folded into a [`StreamSnapshot`], so streaming
+//! results can be compared field for field.
+
+use crate::core::StreamConfig;
+use crate::estimators::{EpisodeEstimator, MatrixCell, StreamSnapshot};
+use btpan_collect::coalesce::coalesce;
+use btpan_collect::entry::{LogRecord, NodeId};
+use btpan_collect::relate::RelationshipMatrix;
+use btpan_collect::trace::repository_from_records;
+use btpan_faults::UserFailure;
+use std::collections::BTreeMap;
+
+/// Runs the batch pipeline over `records` (raw delivery order, possibly
+/// with duplicates) under the same window/NAP settings as `config` and
+/// returns the snapshot the streaming engine must converge to.
+pub fn batch_reference(records: &[LogRecord], config: &StreamConfig) -> StreamSnapshot {
+    // Canonicalize exactly like the collection pipeline: idempotent
+    // repository storage (duplicate fingerprints dropped), then the
+    // canonical (timestamp, seq) sort.
+    let repo = repository_from_records(records);
+    let canonical = repo.records();
+
+    let mut episode = EpisodeEstimator::new();
+    for tuple in coalesce(&canonical, config.window) {
+        episode.observe(&tuple);
+    }
+
+    let mut failures: BTreeMap<UserFailure, u64> = BTreeMap::new();
+    let mut loss_by_packet_type: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in &canonical {
+        if let Some(report) = rec.as_failure() {
+            *failures.entry(report.failure).or_insert(0) += 1;
+            if report.failure == UserFailure::PacketLoss {
+                let key = report
+                    .packet_type
+                    .clone()
+                    .unwrap_or_else(|| "unknown".to_string());
+                *loss_by_packet_type.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let nap_system = repo.system_records_of(config.nap_node);
+    let node_streams: Vec<(NodeId, Vec<LogRecord>)> = repo
+        .reporting_nodes()
+        .into_iter()
+        .filter(|&node| node != config.nap_node)
+        .map(|node| (node, repo.records_of(node)))
+        .collect();
+    let matrix = RelationshipMatrix::from_node_logs(
+        &node_streams,
+        &nap_system,
+        config.nap_node,
+        config.window,
+    );
+
+    StreamSnapshot {
+        records_emitted: canonical.len() as u64,
+        late_quarantined: 0,
+        duplicates_dropped: (records.len() - canonical.len()) as u64,
+        watermark_us: canonical.last().map(|r| r.at.as_micros()),
+        resident_records: 0,
+        peak_resident_records: 0,
+        episodes: episode.episodes(),
+        mttf_s: episode.mttf_s(),
+        mttr_s: episode.mttr_s(),
+        availability: episode.availability(),
+        failures,
+        loss_by_packet_type,
+        matrix_cells: matrix
+            .cells()
+            .into_iter()
+            .map(|(failure, cause, count)| MatrixCell {
+                failure,
+                cause,
+                count,
+            })
+            .collect(),
+    }
+}

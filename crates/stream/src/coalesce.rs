@@ -1,0 +1,219 @@
+//! Incremental tupling coalescence.
+//!
+//! [`OnlineCoalescer`] is the streaming twin of
+//! [`btpan_collect::coalesce::coalesce`]: the same sliding (gap-based)
+//! rule, applied one record at a time. Equivalence argument:
+//!
+//! * [`OnlineCoalescer::push`] closes the open tuple exactly when the
+//!   batch rule would — the incoming record's gap from the tuple's last
+//!   record exceeds the window.
+//! * [`OnlineCoalescer::advance`] additionally closes the open tuple
+//!   once a watermark `w` guarantees `w - last > window`. Every record
+//!   emitted after `advance(w)` has `at > w`, so its gap from `last`
+//!   also exceeds the window — the batch rule would have closed the
+//!   tuple at that record anyway. Early closing therefore never changes
+//!   the tuple partition, only *when* a tuple becomes observable.
+//!
+//! Fed the same record sequence, `push`+`finish` produces byte-identical
+//! tuples to the batch function (asserted by the property tests).
+
+use btpan_collect::coalesce::Tuple;
+use btpan_collect::entry::LogRecord;
+use btpan_sim::time::{SimDuration, SimTime};
+
+/// Online sliding-window coalescer over a time-sorted record stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineCoalescer {
+    window: SimDuration,
+    current: Vec<LogRecord>,
+    last_at: Option<SimTime>,
+}
+
+impl OnlineCoalescer {
+    /// An empty coalescer with the given window.
+    pub fn new(window: SimDuration) -> Self {
+        OnlineCoalescer {
+            window,
+            current: Vec::new(),
+            last_at: None,
+        }
+    }
+
+    /// A coalescer whose open tuple is pre-seeded with `records` (used
+    /// to hand a late-joining node the NAP's still-active error chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `records` is not time-sorted.
+    pub fn seeded(window: SimDuration, records: Vec<LogRecord>) -> Self {
+        debug_assert!(records.windows(2).all(|w| w[0].at <= w[1].at));
+        let last_at = records.last().map(|r| r.at);
+        OnlineCoalescer {
+            window,
+            current: records,
+            last_at,
+        }
+    }
+
+    /// Rebuilds a coalescer from checkpointed state.
+    pub fn from_parts(
+        window: SimDuration,
+        current: Vec<LogRecord>,
+        last_at: Option<SimTime>,
+    ) -> Self {
+        OnlineCoalescer {
+            window,
+            current,
+            last_at,
+        }
+    }
+
+    /// Feeds the next record; returns the previous tuple if `rec`'s gap
+    /// from it exceeds the window (the batch closing rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `rec` precedes the last pushed record.
+    pub fn push(&mut self, rec: LogRecord) -> Option<Tuple> {
+        let mut closed = None;
+        if let Some(last) = self.last_at {
+            debug_assert!(rec.at >= last, "online coalesce input not time-sorted");
+            if !self.current.is_empty() && rec.at.saturating_since(last) > self.window {
+                closed = Some(Tuple {
+                    records: std::mem::take(&mut self.current),
+                });
+            }
+        }
+        self.last_at = Some(rec.at);
+        self.current.push(rec);
+        closed
+    }
+
+    /// Closes the open tuple early once the watermark proves no future
+    /// record can join it (`watermark - last > window`).
+    pub fn advance(&mut self, watermark: SimTime) -> Option<Tuple> {
+        match self.last_at {
+            Some(last)
+                if !self.current.is_empty() && watermark.saturating_since(last) > self.window =>
+            {
+                Some(Tuple {
+                    records: std::mem::take(&mut self.current),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// End of stream: closes and returns the open tuple, if any.
+    pub fn finish(&mut self) -> Option<Tuple> {
+        if self.current.is_empty() {
+            None
+        } else {
+            Some(Tuple {
+                records: std::mem::take(&mut self.current),
+            })
+        }
+    }
+
+    /// True when no tuple is open.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Records buffered in the open tuple.
+    pub fn buffered(&self) -> usize {
+        self.current.len()
+    }
+
+    /// The open tuple's records (checkpoint capture).
+    pub fn buffered_records(&self) -> &[LogRecord] {
+        &self.current
+    }
+
+    /// Timestamp of the most recently pushed record (checkpoint capture).
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.last_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_collect::coalesce::coalesce;
+    use btpan_collect::entry::SystemLogEntry;
+    use btpan_faults::SystemFault;
+
+    fn rec(seq: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_system(
+            seq,
+            SystemLogEntry::new(SimTime::from_secs(at_s), 1, SystemFault::HciCommandTimeout),
+        )
+    }
+
+    fn drain(records: &[LogRecord], window: SimDuration) -> Vec<Tuple> {
+        let mut c = OnlineCoalescer::new(window);
+        let mut out = Vec::new();
+        for r in records {
+            out.extend(c.push(r.clone()));
+        }
+        out.extend(c.finish());
+        out
+    }
+
+    #[test]
+    fn push_finish_matches_batch() {
+        let records: Vec<LogRecord> = [0u64, 3, 9, 11, 40, 41, 90, 300, 301, 302]
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| rec(i as u64, s))
+            .collect();
+        for w in [0u64, 1, 5, 10, 30, 100, 500] {
+            let window = SimDuration::from_secs(w);
+            assert_eq!(
+                drain(&records, window),
+                coalesce(&records, window),
+                "window {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_closes_only_dead_tuples() {
+        let window = SimDuration::from_secs(30);
+        let mut c = OnlineCoalescer::new(window);
+        assert!(c.push(rec(0, 100)).is_none());
+        // Watermark within the window of the last record: still open.
+        assert!(c.advance(SimTime::from_secs(120)).is_none());
+        assert_eq!(c.buffered(), 1);
+        // Watermark past last + window: the tuple can never grow again.
+        let t = c.advance(SimTime::from_secs(131)).expect("closed");
+        assert_eq!(t.len(), 1);
+        assert!(c.is_idle());
+        // Idempotent on an empty coalescer.
+        assert!(c.advance(SimTime::from_secs(10_000)).is_none());
+    }
+
+    #[test]
+    fn push_after_advance_starts_fresh_tuple() {
+        let window = SimDuration::from_secs(30);
+        let mut c = OnlineCoalescer::new(window);
+        c.push(rec(0, 100));
+        c.advance(SimTime::from_secs(200)).expect("closed");
+        assert!(c.push(rec(1, 250)).is_none(), "no double close");
+        assert_eq!(c.buffered(), 1);
+    }
+
+    #[test]
+    fn seeded_chain_joins_or_splits_by_gap() {
+        let window = SimDuration::from_secs(30);
+        // Record within the window of the seed chain: joins it.
+        let mut c = OnlineCoalescer::seeded(window, vec![rec(0, 90), rec(1, 100)]);
+        assert!(c.push(rec(2, 120)).is_none());
+        assert_eq!(c.buffered(), 3);
+        // Record past the window: the pure-seed tuple closes first.
+        let mut c = OnlineCoalescer::seeded(window, vec![rec(0, 100)]);
+        let closed = c.push(rec(1, 200)).expect("seed tuple closed");
+        assert_eq!(closed.len(), 1);
+        assert_eq!(c.buffered(), 1);
+    }
+}

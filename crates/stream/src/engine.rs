@@ -1,0 +1,318 @@
+//! The threaded ingestion engine: bounded channels in, snapshots out.
+//!
+//! One worker thread per shard pulls records off a bounded crossbeam
+//! channel and feeds the shared [`StreamCore`]. The channels provide
+//! the backpressure story — a producer outrunning the analysis blocks
+//! on `send` instead of growing an unbounded queue. Because lateness is
+//! decided per shard from the shard's own input order (see
+//! [`crate::core`]), the final numbers are identical no matter how the
+//! scheduler interleaves the workers.
+
+use crate::checkpoint::{capture, Checkpoint};
+use crate::core::{StreamConfig, StreamCore, StreamOutcome};
+use crate::estimators::StreamSnapshot;
+use crate::router::ShardRouter;
+use btpan_collect::entry::LogRecord;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A record or a checkpoint barrier travelling to a shard worker.
+enum ShardMsg {
+    Record(Box<LogRecord>),
+    Barrier,
+}
+
+/// Error returned by [`StreamEngine::ingest`] when the workers are
+/// gone (the engine was finished or a worker died).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestError;
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "streaming engine is shut down")
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Sharded streaming ingestion engine.
+pub struct StreamEngine {
+    router: ShardRouter,
+    senders: Vec<Sender<ShardMsg>>,
+    ack_rx: Receiver<usize>,
+    core: Arc<Mutex<StreamCore>>,
+    workers: Vec<JoinHandle<()>>,
+    ingested: u64,
+}
+
+impl StreamEngine {
+    /// Starts a fresh engine: spawns one worker per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread cannot be spawned.
+    pub fn start(config: StreamConfig) -> Self {
+        let core = StreamCore::new(config);
+        Self::with_core(core, 0)
+    }
+
+    /// Resumes from a checkpoint. The caller must replay the record
+    /// source from [`Checkpoint::source_index`] (see
+    /// [`StreamEngine::ingested`]).
+    pub fn resume(checkpoint: Checkpoint) -> Self {
+        let source_index = checkpoint.source_index;
+        Self::with_core(checkpoint.restore(), source_index)
+    }
+
+    fn with_core(core: StreamCore, ingested: u64) -> Self {
+        let config = core.config().clone();
+        let core = Arc::new(Mutex::new(core));
+        let (ack_tx, ack_rx) = channel::unbounded();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = channel::bounded::<ShardMsg>(config.channel_capacity.max(1));
+            let worker_core = Arc::clone(&core);
+            let ack = ack_tx.clone();
+            let idle = config.idle_timeout();
+            let handle = std::thread::Builder::new()
+                .name(format!("btpan-stream-{shard}"))
+                .spawn(move || worker_loop(shard, rx, worker_core, ack, idle))
+                .expect("spawn stream worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        StreamEngine {
+            router: ShardRouter::new(config.shards),
+            senders,
+            ack_rx,
+            core,
+            workers,
+            ingested,
+        }
+    }
+
+    /// Routes one record to its shard, blocking if that shard's channel
+    /// is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError`] if the engine has shut down.
+    pub fn ingest(&mut self, rec: LogRecord) -> Result<(), IngestError> {
+        let shard = self.router.route(rec.node);
+        self.senders[shard]
+            .send(ShardMsg::Record(Box::new(rec)))
+            .map_err(|_| IngestError)?;
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Records handed to [`StreamEngine::ingest`] so far (counts the
+    /// checkpointed prefix after a resume).
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// A live snapshot of the estimators. In-flight records that have
+    /// not reached their worker yet are not included.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        self.core.lock().snapshot()
+    }
+
+    /// Takes a consistent checkpoint: flushes every shard channel with
+    /// a barrier, waits for all workers to ack, then captures the core.
+    /// The checkpoint covers exactly the records ingested before this
+    /// call.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Barrier);
+        }
+        let mut acks = 0;
+        while acks < self.senders.len() && self.ack_rx.recv().is_ok() {
+            acks += 1;
+        }
+        capture(&self.core.lock(), self.ingested)
+    }
+
+    /// Ends the stream: closes every shard channel, joins the workers
+    /// (each closes its shard, the last one finalizes the pipeline) and
+    /// returns the outcome.
+    pub fn finish(self) -> StreamOutcome {
+        drop(self.senders);
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+        Arc::try_unwrap(self.core)
+            .expect("workers joined, no core refs remain")
+            .into_inner()
+            .into_outcome()
+    }
+}
+
+fn worker_loop(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    core: Arc<Mutex<StreamCore>>,
+    ack: Sender<usize>,
+    idle: Option<std::time::Duration>,
+) {
+    loop {
+        let msg = match idle {
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    core.lock().mark_idle(shard);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+        };
+        match msg {
+            ShardMsg::Record(rec) => core.lock().accept(shard, *rec),
+            ShardMsg::Barrier => {
+                let _ = ack.send(shard);
+            }
+        }
+    }
+    core.lock().close_shard(shard);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_collect::entry::{SystemLogEntry, TestLogEntry, WorkloadTag};
+    use btpan_faults::{SystemFault, UserFailure};
+    use btpan_sim::time::{SimDuration, SimTime};
+
+    fn sys_rec(seq: u64, node: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_system(
+            seq,
+            SystemLogEntry::new(
+                SimTime::from_secs(at_s),
+                node,
+                SystemFault::HciCommandTimeout,
+            ),
+        )
+    }
+
+    fn fail_rec(seq: u64, node: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_test(
+            seq,
+            TestLogEntry {
+                at: SimTime::from_secs(at_s),
+                node,
+                failure: UserFailure::ConnectFailed,
+                workload: WorkloadTag::Random,
+                packet_type: None,
+                packets_sent_before: None,
+                app: None,
+                distance_m: 5.0,
+                idle_before_s: None,
+            },
+        )
+    }
+
+    fn config() -> StreamConfig {
+        StreamConfig {
+            shards: 2,
+            channel_capacity: 8,
+            window: SimDuration::from_secs(30),
+            watermark_lag: SimDuration::from_secs(60),
+            idle_timeout_ms: None,
+            nap_node: 0,
+            keep_tuples: true,
+        }
+    }
+
+    #[test]
+    fn engine_matches_single_threaded_core() {
+        let records: Vec<LogRecord> = (0..200)
+            .map(|i| {
+                let node = 1 + (i % 3);
+                if i % 7 == 0 {
+                    fail_rec(i, node, 10 + i * 9)
+                } else {
+                    sys_rec(i, node, 10 + i * 9)
+                }
+            })
+            .collect();
+        let mut engine = StreamEngine::start(config());
+        for rec in records.clone() {
+            engine.ingest(rec).unwrap();
+        }
+        let outcome = engine.finish();
+        let reference = crate::core::stream_records(records, &config());
+        // Transport fields (peak residency) legitimately vary with the
+        // thread interleaving; the analysis results must not.
+        assert!(
+            outcome.snapshot.analysis_eq(&reference.snapshot),
+            "threaded {:?} != single-threaded {:?}",
+            outcome.snapshot,
+            reference.snapshot
+        );
+        assert_eq!(outcome.tuples, reference.tuples);
+        assert_eq!(outcome.snapshot.late_quarantined, 0);
+        assert_eq!(outcome.snapshot.duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn idle_timeout_unblocks_a_silent_shard() {
+        // Without the idle kick, a shard that never receives records
+        // keeps the global watermark at None and nothing is emitted.
+        let mut cfg = config();
+        cfg.idle_timeout_ms = Some(20);
+        let router = ShardRouter::new(cfg.shards);
+        // Pick node ids that all land on one shard, leaving the other idle.
+        let target = router.route(1);
+        let nodes: Vec<u64> = (1..100)
+            .filter(|&n| router.route(n) == target)
+            .take(2)
+            .collect();
+        let mut engine = StreamEngine::start(cfg);
+        for (i, at) in (0u64..50).enumerate() {
+            engine
+                .ingest(sys_rec(i as u64, nodes[i % nodes.len()], 100 + at * 10))
+                .unwrap();
+        }
+        // Wait out a few idle timeouts; the silent shard's frontier
+        // must catch up and let the merge emit.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let snap = engine.snapshot();
+            if snap.records_emitted > 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle shard stalled the merge: {snap:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let outcome = engine.finish();
+        assert_eq!(outcome.snapshot.records_emitted, 50);
+    }
+
+    #[test]
+    fn checkpoint_barrier_covers_all_ingested_records() {
+        let mut engine = StreamEngine::start(config());
+        for i in 0..40u64 {
+            engine.ingest(sys_rec(i, 1 + (i % 3), 10 + i * 5)).unwrap();
+        }
+        let cp = engine.checkpoint();
+        assert_eq!(cp.source_index, 40);
+        let processed = cp.counters.emitted
+            + cp.shards.iter().map(|s| s.buffer.len() as u64).sum::<u64>()
+            + cp.counters.late
+            + cp.counters.duplicates;
+        assert_eq!(processed, 40, "barrier must flush every in-flight record");
+        let outcome = engine.finish();
+        assert_eq!(outcome.snapshot.records_emitted, 40);
+    }
+}

@@ -1,0 +1,296 @@
+//! Streaming estimators and the snapshot they can produce at any time.
+//!
+//! The paper's Table 4 statistics (MTTF/MTTR/availability) accumulate
+//! in Welford form via [`btpan_sim::stats::RunningStats`]; the Table 2
+//! relationship matrix and the failure/loss censuses accumulate as
+//! plain counters. All of them are pure folds over the canonical record
+//! and tuple sequence, so the streaming engine reproduces the batch
+//! numbers bit for bit as long as it feeds them the same sequence.
+
+use btpan_collect::coalesce::Tuple;
+use btpan_collect::relate::RelationshipMatrix;
+use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+use btpan_sim::stats::RunningStats;
+use btpan_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Online MTTF/MTTR/availability over the global tuple stream.
+///
+/// A *failure episode* is a coalesced tuple containing at least one
+/// user-level failure report. TTR is the episode's tuple span; TTF is
+/// the gap from the previous episode's end to this episode's start.
+/// Tuples must be observed in canonical order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpisodeEstimator {
+    ttf: RunningStats,
+    ttr: RunningStats,
+    prev_end: Option<SimTime>,
+    episodes: u64,
+}
+
+impl EpisodeEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        EpisodeEstimator::default()
+    }
+
+    /// Rebuilds an estimator from checkpointed state.
+    pub fn from_parts(
+        ttf: RunningStats,
+        ttr: RunningStats,
+        prev_end: Option<SimTime>,
+        episodes: u64,
+    ) -> Self {
+        EpisodeEstimator {
+            ttf,
+            ttr,
+            prev_end,
+            episodes,
+        }
+    }
+
+    /// Folds one closed tuple into the statistics.
+    pub fn observe(&mut self, tuple: &Tuple) {
+        if tuple.failures().next().is_none() {
+            return;
+        }
+        let start = tuple.records.first().expect("non-empty").at;
+        let end = tuple.records.last().expect("non-empty").at;
+        if let Some(prev) = self.prev_end {
+            self.ttf.push(start.saturating_since(prev).as_secs_f64());
+        }
+        self.ttr.push(tuple.span().as_secs_f64());
+        self.episodes += 1;
+        self.prev_end = Some(end);
+    }
+
+    /// Failure episodes seen so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Mean time to failure in seconds (0 until two episodes exist).
+    pub fn mttf_s(&self) -> f64 {
+        self.ttf.mean().unwrap_or(0.0)
+    }
+
+    /// Mean time to repair in seconds (0 until one episode exists).
+    pub fn mttr_s(&self) -> f64 {
+        self.ttr.mean().unwrap_or(0.0)
+    }
+
+    /// `MTTF / (MTTF + MTTR)`, or 1.0 while degenerate — the convention
+    /// of `btpan_analysis::dependability`.
+    pub fn availability(&self) -> f64 {
+        let f = self.mttf_s();
+        let r = self.mttr_s();
+        if f + r > 0.0 {
+            f / (f + r)
+        } else {
+            1.0
+        }
+    }
+
+    /// TTF accumulator (checkpoint capture).
+    pub fn ttf(&self) -> &RunningStats {
+        &self.ttf
+    }
+
+    /// TTR accumulator (checkpoint capture).
+    pub fn ttr(&self) -> &RunningStats {
+        &self.ttr
+    }
+
+    /// End of the previous episode (checkpoint capture).
+    pub fn prev_end(&self) -> Option<SimTime> {
+        self.prev_end
+    }
+}
+
+/// One serialized cell of the relationship matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// The user-level failure (the Table 2 row).
+    pub failure: UserFailure,
+    /// The dominant evidence, or `None` for the no-evidence column.
+    pub cause: Option<(SystemComponent, CauseSite)>,
+    /// Observations in this cell.
+    pub count: u64,
+}
+
+/// A point-in-time view of every streaming estimator.
+///
+/// Serializable, comparable, and buildable from either the streaming
+/// engine or the batch pipeline ([`crate::batch::batch_reference`]), so
+/// equivalence checks are one `analysis_eq` call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// Records emitted in canonical order so far.
+    pub records_emitted: u64,
+    /// Records refused because they arrived behind their shard frontier.
+    pub late_quarantined: u64,
+    /// Exact duplicates dropped at the merge buffer.
+    pub duplicates_dropped: u64,
+    /// The emitted watermark in microseconds (`None` before first emit).
+    pub watermark_us: Option<u64>,
+    /// Records currently buffered in shard merge buffers.
+    pub resident_records: u64,
+    /// High-water mark of `resident_records` over the whole run.
+    pub peak_resident_records: u64,
+    /// Failure episodes observed.
+    pub episodes: u64,
+    /// Mean time to failure, seconds.
+    pub mttf_s: f64,
+    /// Mean time to repair, seconds.
+    pub mttr_s: f64,
+    /// `MTTF / (MTTF + MTTR)`.
+    pub availability: f64,
+    /// Census of user failures by kind.
+    pub failures: BTreeMap<UserFailure, u64>,
+    /// Packet-loss reports by baseband packet type.
+    pub loss_by_packet_type: BTreeMap<String, u64>,
+    /// The Table 2 relationship matrix, cell by cell.
+    pub matrix_cells: Vec<MatrixCell>,
+}
+
+impl StreamSnapshot {
+    /// Rebuilds the relationship matrix from the serialized cells.
+    pub fn matrix(&self) -> RelationshipMatrix {
+        let mut m = RelationshipMatrix::new();
+        for cell in &self.matrix_cells {
+            m.add_count(cell.failure, cell.cause, cell.count);
+        }
+        m
+    }
+
+    /// True when every *analysis* field matches `other` exactly — bit
+    /// equality for the floating-point statistics, full equality for
+    /// the counters and the matrix. Transport-side fields (watermark,
+    /// residency, quarantine counts) are deliberately excluded: they
+    /// describe how the records travelled, not what they mean.
+    pub fn analysis_eq(&self, other: &StreamSnapshot) -> bool {
+        self.records_emitted == other.records_emitted
+            && self.episodes == other.episodes
+            && self.mttf_s.to_bits() == other.mttf_s.to_bits()
+            && self.mttr_s.to_bits() == other.mttr_s.to_bits()
+            && self.availability.to_bits() == other.availability.to_bits()
+            && self.failures == other.failures
+            && self.loss_by_packet_type == other.loss_by_packet_type
+            && self.matrix_cells == other.matrix_cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpan_collect::entry::{LogRecord, SystemLogEntry, TestLogEntry, WorkloadTag};
+    use btpan_faults::SystemFault;
+
+    fn fail_rec(seq: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_test(
+            seq,
+            TestLogEntry {
+                at: SimTime::from_secs(at_s),
+                node: 1,
+                failure: UserFailure::ConnectFailed,
+                workload: WorkloadTag::Random,
+                packet_type: None,
+                packets_sent_before: None,
+                app: None,
+                distance_m: 5.0,
+                idle_before_s: None,
+            },
+        )
+    }
+
+    fn sys_rec(seq: u64, at_s: u64) -> LogRecord {
+        LogRecord::from_system(
+            seq,
+            SystemLogEntry::new(SimTime::from_secs(at_s), 1, SystemFault::HciCommandTimeout),
+        )
+    }
+
+    #[test]
+    fn episodes_measure_ttf_and_ttr() {
+        let mut e = EpisodeEstimator::new();
+        // Episode 1: span 10 s, ends at t=110.
+        e.observe(&Tuple {
+            records: vec![sys_rec(0, 100), fail_rec(1, 110)],
+        });
+        // A failure-free tuple is not an episode.
+        e.observe(&Tuple {
+            records: vec![sys_rec(2, 300)],
+        });
+        // Episode 2: starts at t=500 → TTF 390 s; span 20 s.
+        e.observe(&Tuple {
+            records: vec![fail_rec(3, 500), sys_rec(4, 520)],
+        });
+        assert_eq!(e.episodes(), 2);
+        assert_eq!(e.mttf_s(), 390.0);
+        assert_eq!(e.mttr_s(), 15.0);
+        assert!((e.availability() - 390.0 / 405.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_estimator_is_fully_available() {
+        let e = EpisodeEstimator::new();
+        assert_eq!(e.availability(), 1.0);
+        assert_eq!(e.mttf_s(), 0.0);
+        assert_eq!(e.mttr_s(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = StreamSnapshot {
+            records_emitted: 10,
+            late_quarantined: 1,
+            duplicates_dropped: 2,
+            watermark_us: Some(5_000_000),
+            resident_records: 3,
+            peak_resident_records: 7,
+            episodes: 2,
+            mttf_s: 390.0,
+            mttr_s: 15.0,
+            availability: 390.0 / 405.0,
+            failures: [(UserFailure::ConnectFailed, 2u64)].into_iter().collect(),
+            loss_by_packet_type: [("DM1".to_string(), 1u64)].into_iter().collect(),
+            matrix_cells: vec![MatrixCell {
+                failure: UserFailure::ConnectFailed,
+                cause: Some((SystemComponent::Hci, CauseSite::Local)),
+                count: 2,
+            }],
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StreamSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.analysis_eq(&snap));
+        assert_eq!(back.matrix().grand_total(), 2);
+    }
+
+    #[test]
+    fn analysis_eq_ignores_transport_fields() {
+        let a = StreamSnapshot {
+            records_emitted: 5,
+            late_quarantined: 0,
+            duplicates_dropped: 0,
+            watermark_us: None,
+            resident_records: 0,
+            peak_resident_records: 0,
+            episodes: 0,
+            mttf_s: 0.0,
+            mttr_s: 0.0,
+            availability: 1.0,
+            failures: BTreeMap::new(),
+            loss_by_packet_type: BTreeMap::new(),
+            matrix_cells: Vec::new(),
+        };
+        let mut b = a.clone();
+        b.late_quarantined = 9;
+        b.peak_resident_records = 99;
+        b.watermark_us = Some(1);
+        assert!(a.analysis_eq(&b));
+        b.episodes = 1;
+        assert!(!a.analysis_eq(&b));
+    }
+}

@@ -1,0 +1,79 @@
+//! Line framing for tailing a growing JSONL trace.
+//!
+//! A trace being appended to by a live collector can be read mid-line;
+//! [`LineFramer`] buffers the partial tail chunk-to-chunk and only
+//! releases complete lines, so the CLI tailer never feeds the parser a
+//! record that was cut off mid-write.
+
+/// Reassembles complete lines from arbitrary read chunks.
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    partial: String,
+}
+
+impl LineFramer {
+    /// An empty framer.
+    pub fn new() -> Self {
+        LineFramer::default()
+    }
+
+    /// Feeds the next chunk; returns every line completed by it (without
+    /// the terminating newline). The unterminated remainder is buffered.
+    pub fn push(&mut self, chunk: &str) -> Vec<String> {
+        self.partial.push_str(chunk);
+        let mut lines = Vec::new();
+        while let Some(pos) = self.partial.find('\n') {
+            let rest = self.partial.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut self.partial, rest);
+            line.pop(); // the '\n'
+            if line.ends_with('\r') {
+                line.pop();
+            }
+            lines.push(line);
+        }
+        lines
+    }
+
+    /// Bytes buffered waiting for a newline.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// End of input: returns the final unterminated line, if any.
+    pub fn finish(&mut self) -> Option<String> {
+        if self.partial.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.partial))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassembles_lines_across_chunks() {
+        let mut f = LineFramer::new();
+        assert!(f.push("{\"a\":").is_empty());
+        assert_eq!(f.pending(), 5);
+        assert_eq!(f.push("1}\n{\"b\":2}\n{\"c\"").len(), 2);
+        assert_eq!(f.push(":3}\n"), vec!["{\"c\":3}".to_string()]);
+        assert!(f.finish().is_none());
+    }
+
+    #[test]
+    fn finish_flushes_unterminated_tail() {
+        let mut f = LineFramer::new();
+        assert!(f.push("tail-without-newline").is_empty());
+        assert_eq!(f.finish(), Some("tail-without-newline".to_string()));
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn strips_crlf() {
+        let mut f = LineFramer::new();
+        assert_eq!(f.push("x\r\ny\n"), vec!["x".to_string(), "y".to_string()]);
+    }
+}

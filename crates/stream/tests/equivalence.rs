@@ -1,0 +1,186 @@
+//! Property tests: the streaming merge + online coalescence are
+//! byte-identical to the batch `merge` + `coalesce` pipeline — for any
+//! generated multi-node record stream, any delivery permutation, and
+//! under chaos-injected duplication/reordering/truncation.
+//!
+//! The streaming runs use a watermark lag covering the whole time
+//! horizon, so no record is ever late: every divergence from batch is
+//! then a real algorithmic difference, not a lateness policy choice.
+
+use btpan_collect::chaos::{inject, ChaosConfig};
+use btpan_collect::coalesce::coalesce;
+use btpan_collect::entry::{LogRecord, SystemLogEntry, TestLogEntry, WorkloadTag};
+use btpan_collect::trace::{export_trace, repository_from_records};
+use btpan_faults::{SystemFault, UserFailure};
+use btpan_sim::time::{SimDuration, SimTime};
+use btpan_stream::{batch_reference, stream_records, StreamConfig};
+use proptest::prelude::*;
+
+const NAP: u64 = 0;
+
+/// Beyond any generated timestamp: nothing is ever late.
+const FULL_HORIZON_LAG: SimDuration = SimDuration::from_secs(1_000_000);
+
+/// Builds a canonical multi-node record set from `(time, kind)` pairs:
+/// NAP system records, PANU failures (with packet types) and PANU
+/// system records, seq-numbered in canonical order.
+fn records_from_spec(spec: &[(u64, u8)]) -> Vec<LogRecord> {
+    let mut items: Vec<(u64, u8)> = spec.to_vec();
+    items.sort_unstable();
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, kind))| {
+            let seq = i as u64;
+            let at = SimTime::from_secs(t);
+            let node = 1 + u64::from(kind % 3);
+            match kind % 8 {
+                0 | 1 => LogRecord::from_system(
+                    seq,
+                    SystemLogEntry::new(at, NAP, SystemFault::L2capUnexpectedFrame),
+                ),
+                2 | 3 => LogRecord::from_system(
+                    seq,
+                    SystemLogEntry::new(at, node, SystemFault::HciCommandTimeout),
+                ),
+                4 => LogRecord::from_test(
+                    seq,
+                    TestLogEntry {
+                        at,
+                        node,
+                        failure: UserFailure::PacketLoss,
+                        workload: WorkloadTag::Random,
+                        packet_type: Some(if kind > 100 { "DH5" } else { "DM1" }.to_string()),
+                        packets_sent_before: Some(u64::from(kind)),
+                        app: None,
+                        distance_m: 5.0,
+                        idle_before_s: None,
+                    },
+                ),
+                _ => LogRecord::from_test(
+                    seq,
+                    TestLogEntry {
+                        at,
+                        node,
+                        failure: UserFailure::ConnectFailed,
+                        workload: WorkloadTag::Random,
+                        packet_type: None,
+                        packets_sent_before: None,
+                        app: None,
+                        distance_m: 5.0,
+                        idle_before_s: None,
+                    },
+                ),
+            }
+        })
+        .collect()
+}
+
+fn config(window_s: u64, shards: usize) -> StreamConfig {
+    StreamConfig {
+        shards,
+        channel_capacity: 64,
+        window: SimDuration::from_secs(window_s),
+        watermark_lag: FULL_HORIZON_LAG,
+        idle_timeout_ms: None,
+        nap_node: NAP,
+        keep_tuples: true,
+    }
+}
+
+/// Deterministic Fisher–Yates permutation (no RNG dependency).
+fn permute<T>(items: &mut [T], seed: u64) {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for i in (1..items.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    /// Any delivery permutation: streaming tuples and ordering are
+    /// byte-identical to batch merge + coalesce, and the full snapshot
+    /// matches the batch reference.
+    #[test]
+    fn streaming_equals_batch_under_permutation(
+        spec in prop::collection::vec((0u64..50_000, 0u8..=255), 1..150),
+        window_s in 1u64..2_000,
+        shards in 1usize..5,
+        perm_seed in 0u64..1_000,
+    ) {
+        let records = records_from_spec(&spec);
+        let mut delivered = records.clone();
+        permute(&mut delivered, perm_seed);
+
+        let cfg = config(window_s, shards);
+        let outcome = stream_records(delivered, &cfg);
+
+        // Byte-identical tuples and ordering vs the batch algorithm.
+        let batch_tuples = coalesce(&records, cfg.window);
+        prop_assert_eq!(outcome.tuples.as_ref().unwrap(), &batch_tuples);
+
+        // Full analysis snapshot vs the batch reference pipeline.
+        let reference = batch_reference(&records, &cfg);
+        prop_assert!(
+            outcome.snapshot.analysis_eq(&reference),
+            "streaming {:?} != batch {:?}", outcome.snapshot, reference
+        );
+        prop_assert_eq!(outcome.snapshot.late_quarantined, 0);
+    }
+
+    /// Chaos shipping (duplication, bounded reordering, truncation):
+    /// both sides consume whatever survives parsing, and streaming
+    /// still reproduces batch exactly. Duplicates must be dropped, not
+    /// double-counted.
+    #[test]
+    fn streaming_equals_batch_under_chaos(
+        spec in prop::collection::vec((0u64..50_000, 0u8..=255), 1..120),
+        window_s in 1u64..2_000,
+        shards in 1usize..5,
+        chaos_seed in 0u64..10_000,
+    ) {
+        let records = records_from_spec(&spec);
+        let trace = export_trace(&repository_from_records(&records));
+        let chaos = ChaosConfig {
+            corrupt_line_rate: 0.0,
+            truncate_line_rate: 0.05,
+            duplicate_rate: 0.25,
+            reorder_window: 12,
+            clock_skew_s: 0.0,
+            seed: chaos_seed,
+        };
+        let (shipped, _stats) = inject(&trace, &chaos);
+
+        // Parse in delivery order (what the wire actually carried).
+        let delivered: Vec<LogRecord> = shipped
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .collect();
+
+        let cfg = config(window_s, shards);
+        let outcome = stream_records(delivered.clone(), &cfg);
+        let reference = batch_reference(&delivered, &cfg);
+        prop_assert!(
+            outcome.snapshot.analysis_eq(&reference),
+            "streaming {:?} != batch {:?}", outcome.snapshot, reference
+        );
+
+        // Tuple-level equality against batch coalesce of the canonical
+        // (deduplicated, sorted) survivors.
+        let canonical = repository_from_records(&delivered).records();
+        let batch_tuples = coalesce(&canonical, cfg.window);
+        prop_assert_eq!(outcome.tuples.as_ref().unwrap(), &batch_tuples);
+
+        // Nothing can be late under a full-horizon lag; every dropped
+        // record must be an exact duplicate.
+        prop_assert_eq!(outcome.snapshot.late_quarantined, 0);
+        prop_assert_eq!(
+            outcome.snapshot.duplicates_dropped as usize,
+            delivered.len() - canonical.len()
+        );
+    }
+}

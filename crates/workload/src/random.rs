@@ -55,7 +55,9 @@ impl RandomWorkload {
 
     /// Samples `B` with the binomial index over the six types.
     pub fn sample_packet_type(&self, rng: &mut SimRng) -> PacketType {
-        let successes = (0..self.binomial_trials).filter(|_| rng.chance(0.5)).count();
+        let successes = (0..self.binomial_trials)
+            .filter(|_| rng.chance(0.5))
+            .count();
         PacketType::ALL[successes.min(PacketType::ALL.len() - 1)]
     }
 }

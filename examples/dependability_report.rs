@@ -17,7 +17,10 @@ fn main() {
     };
     let report = table4(&scale);
 
-    println!("{:<26} {:>9} {:>9} {:>7}", "scenario", "MTTF", "MTTR", "avail");
+    println!(
+        "{:<26} {:>9} {:>9} {:>7}",
+        "scenario", "MTTF", "MTTR", "avail"
+    );
     for (label, m) in &report.scenarios {
         println!(
             "{label:<26} {:>9.1} {:>9.1} {:>7.3}",

@@ -14,7 +14,10 @@ fn main() {
         .duration(SimDuration::from_secs(12 * 3600));
     let result = Campaign::new(config).run();
 
-    println!("simulated {:.1} h of the Random-WL testbed", result.simulated.as_secs_f64() / 3600.0);
+    println!(
+        "simulated {:.1} h of the Random-WL testbed",
+        result.simulated.as_secs_f64() / 3600.0
+    );
     println!("  cycles run:          {}", result.cycles_run);
     println!("  user-level failures: {}", result.failure_count);
     println!("  log items collected: {}", result.repository.total_count());

@@ -65,7 +65,10 @@ fn main() {
     for (f, (n, ttr)) in &per_type {
         model.fit_type(*f, *n, uptime, ttr / *n as f64);
     }
-    println!("   baseline availability (analytic): {:.4}", model.availability());
+    println!(
+        "   baseline availability (analytic): {:.4}",
+        model.availability()
+    );
     for (f, _) in model.downtime_ranking().into_iter().take(3) {
         println!(
             "   masking {f:<24} would lift it to {:.4}",

@@ -25,15 +25,21 @@ fn main() {
     let fail = |sdp_done: bool, rng: &mut SimRng| {
         (0..trials)
             .filter(|_| {
-                inj.check_phase(faults::injector::Phase::PanConnect { sdp_done }, quirks, rng)
-                    .is_some()
+                inj.check_phase(
+                    faults::injector::Phase::PanConnect { sdp_done },
+                    quirks,
+                    rng,
+                )
+                .is_some()
             })
             .count()
     };
     let without = fail(false, &mut rng);
     let with = fail(true, &mut rng);
     println!("lesson 1 — SDP before PAN connect:");
-    println!("  PAN connect failures per {trials} attempts: {without} without SDP, {with} with SDP");
+    println!(
+        "  PAN connect failures per {trials} attempts: {without} without SDP, {with} with SDP"
+    );
 
     // Lesson 2: packet type choice (per-byte drop exposure).
     println!("\nlesson 2 — prefer multi-slot DHx packets:");
@@ -69,7 +75,10 @@ fn main() {
     let attempts = 200_000;
     for i in 0..attempts {
         let now = SimTime::from_secs(10 * i);
-        let conn = pan.connect(now, &mut hci, &mut rng).expect("connects").clone();
+        let conn = pan
+            .connect(now, &mut hci, &mut rng)
+            .expect("connects")
+            .clone();
         let bind_at = now + SimDuration::from_millis(200);
         let mut naive = IpSocket::new();
         if naive.bind(&conn, bind_at).is_err() {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full CI gate: release build, every test in the workspace, and clippy
-# with warnings denied. Run from anywhere inside the repo.
+# Full CI gate: formatting, release build, every test in the workspace,
+# and clippy with warnings denied. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --release --workspace
 cargo clippy --release --workspace --all-targets -- -D warnings

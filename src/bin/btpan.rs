@@ -2,8 +2,11 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match btpan_core::cli::run(&args) {
-        Ok(output) => print!("{output}"),
+    match btpan_core::cli::run_cli(&args) {
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            std::process::exit(outcome.status);
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);

@@ -20,6 +20,9 @@
 //! * `btpan-workload` — the Random and Realistic `BlueTest` workloads;
 //! * `btpan-collect` — Test/System logs, LogAnalyzer, repository,
 //!   tupling coalescence and the window-sensitivity analysis;
+//! * `btpan-stream` — sharded streaming ingestion and incremental
+//!   online analysis (watermark merge, online coalescence, Welford
+//!   estimators, checkpoint/resume);
 //! * `btpan-recovery` — the seven SIRAs, masking strategies, and the
 //!   four Table 4 recovery policies;
 //! * `btpan-analysis` — TTF/TTR, MTTF/MTTR/availability/coverage, the
@@ -44,6 +47,9 @@
 //! ```
 
 pub use btpan_core::*;
+
+/// The streaming ingestion + online analysis subsystem.
+pub use btpan_stream as stream;
 
 /// Everything needed for typical use.
 pub mod prelude {

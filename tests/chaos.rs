@@ -94,7 +94,11 @@ fn supervised_campaign_survives_worker_and_pipeline_faults() {
         ..ChaosConfig::default()
     };
     let (noisy, stats) = inject(&trace, &chaos);
-    assert!(stats.corrupted > 0, "5 % of {} lines hit nothing", stats.lines_in);
+    assert!(
+        stats.corrupted > 0,
+        "5 % of {} lines hit nothing",
+        stats.lines_in
+    );
     assert!(import_trace(&noisy).is_err());
     let (records, report) = import_trace_lenient(&noisy);
     assert!(!report.is_clean());

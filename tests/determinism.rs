@@ -51,5 +51,8 @@ fn policies_share_workload_randomness_shape() {
     )
     .run();
     let ratio = siras.cycles_run as f64 / reboot.cycles_run.max(1) as f64;
-    assert!((0.8..1.6).contains(&ratio), "cycle volumes diverged: {ratio}");
+    assert!(
+        (0.8..1.6).contains(&ratio),
+        "cycle volumes diverged: {ratio}"
+    );
 }

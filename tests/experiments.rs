@@ -18,7 +18,11 @@ fn fig3b_young_connections_fail_more() {
         duration: SimDuration::from_secs(24 * 3600),
     });
     assert!(hist.total > 10, "too few losses: {}", hist.total);
-    assert!(hist.young_dominated(), "histogram not front-loaded: {:?}", hist.bins);
+    assert!(
+        hist.young_dominated(),
+        "histogram not front-loaded: {:?}",
+        hist.bins
+    );
 }
 
 #[test]
@@ -77,6 +81,10 @@ fn table4_report_has_all_four_scenarios() {
     });
     assert_eq!(report.scenarios.len(), 4);
     for (label, m) in &report.scenarios {
-        assert!(m.availability > 0.5 && m.availability <= 1.0, "{label}: {}", m.availability);
+        assert!(
+            m.availability > 0.5 && m.availability <= 1.0,
+            "{label}: {}",
+            m.availability
+        );
     }
 }

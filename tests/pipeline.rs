@@ -26,21 +26,41 @@ fn analysis_recovers_injected_relationships() {
         .into_iter()
         .map(|n| (n, result.repository.records_of(n)))
         .collect();
-    let m = RelationshipMatrix::from_node_logs(&streams, &nap, NAP_NODE_ID, SimDuration::from_secs(330));
+    let m = RelationshipMatrix::from_node_logs(
+        &streams,
+        &nap,
+        NAP_NODE_ID,
+        SimDuration::from_secs(330),
+    );
     assert!(m.grand_total() > 30, "too few related failures");
 
     // Bind failures: mechanistic causes are HCI (before T_C) and
     // hotplug/BNEP (after) — never SDP or BCSP.
     if m.total(UserFailure::BindFailed) >= 10 {
-        let sdp = m.percent(UserFailure::BindFailed, SystemComponent::Sdp, CauseSite::Local);
+        let sdp = m.percent(
+            UserFailure::BindFailed,
+            SystemComponent::Sdp,
+            CauseSite::Local,
+        );
         assert!(sdp < 10.0, "bind related to SDP: {sdp}%");
-        let hci = m.percent(UserFailure::BindFailed, SystemComponent::Hci, CauseSite::Local);
+        let hci = m.percent(
+            UserFailure::BindFailed,
+            SystemComponent::Hci,
+            CauseSite::Local,
+        );
         assert!(hci > 25.0, "bind HCI share {hci}%");
     }
     // NAP-not-found is SDP-dominated, with visible NAP propagation.
     if m.total(UserFailure::NapNotFound) >= 10 {
-        let sdp = m.percent(UserFailure::NapNotFound, SystemComponent::Sdp, CauseSite::Local)
-            + m.percent(UserFailure::NapNotFound, SystemComponent::Sdp, CauseSite::Nap);
+        let sdp = m.percent(
+            UserFailure::NapNotFound,
+            SystemComponent::Sdp,
+            CauseSite::Local,
+        ) + m.percent(
+            UserFailure::NapNotFound,
+            SystemComponent::Sdp,
+            CauseSite::Nap,
+        );
         assert!(sdp > 60.0, "NNF SDP share {sdp}%");
     }
 }

@@ -40,7 +40,10 @@ fn reboot_only_hurts_mttf() {
 #[test]
 fn coverage_only_counted_under_siras() {
     let reboot = run(RecoveryPolicy::RebootOnly);
-    assert_eq!(reboot.covered_count, 0, "user reboots cannot count as coverage");
+    assert_eq!(
+        reboot.covered_count, 0,
+        "user reboots cannot count as coverage"
+    );
     let siras = run(RecoveryPolicy::Siras);
     assert!(siras.covered_count > 0);
     let frac = siras.covered_count as f64 / siras.failure_count.max(1) as f64;

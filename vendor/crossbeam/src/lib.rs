@@ -1,8 +1,10 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides the multi-producer multi-consumer unbounded channel subset
-//! used by the campaign runner/supervisor, built on
-//! `Mutex<VecDeque<T>>` + `Condvar`. Disconnection semantics match
+//! Provides the multi-producer multi-consumer channel subset used by
+//! the campaign runner/supervisor and the streaming ingestion engine,
+//! built on `Mutex<VecDeque<T>>` + `Condvar`. Both `unbounded` and
+//! `bounded` flavours are available; a bounded `send` blocks while the
+//! queue is at capacity (backpressure). Disconnection semantics match
 //! crossbeam: `recv` fails once all senders are gone *and* the queue is
 //! drained; `send` fails once all receivers are gone.
 
@@ -16,16 +18,20 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    /// The sending half of an unbounded channel.
+    /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
@@ -61,11 +67,12 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -77,13 +84,35 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages;
+    /// `send` blocks while the queue is full. Unlike real crossbeam,
+    /// `cap` must be at least 1 (no zero-capacity rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be at least 1");
+        channel_with_capacity(Some(cap))
+    }
+
     impl<T> Sender<T> {
         /// Enqueues `value`, failing if every receiver has been dropped.
+        /// On a bounded channel, blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
             let mut queue = self.shared.queue.lock().expect("channel lock");
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self.shared.space.wait(queue).expect("channel lock");
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -117,6 +146,7 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().expect("channel lock");
             loop {
                 if let Some(v) = queue.pop_front() {
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -132,6 +162,7 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().expect("channel lock");
             loop {
                 if let Some(v) = queue.pop_front() {
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -168,7 +199,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake all blocked senders so they can
+                // observe the disconnection.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -218,6 +253,39 @@ mod tests {
             drop(tx);
             let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
             assert_eq!(total, 1000);
+        });
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        std::thread::scope(|s| {
+            let t = s.spawn(move || {
+                // Queue is full; this blocks until the main thread drains.
+                tx.send(3).unwrap();
+                tx.send(4).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                got.push(rx.recv().unwrap());
+            }
+            t.join().unwrap();
+            assert_eq!(got, vec![1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receiver_gone() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let t = s.spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(t.join().unwrap().is_err());
         });
     }
 
