@@ -31,6 +31,48 @@ use crate::hop::HopSequence;
 use crate::packet::{PacketType, HEADER_BITS};
 use btpan_sim::prelude::*;
 
+mod metrics {
+    use crate::packet::PacketType;
+    use btpan_obs::{Counter, Registry};
+    use std::sync::OnceLock;
+
+    /// Per-packet-type counter families, indexed by [`PacketType::index`].
+    /// Updates are flushed once per [`super::AclLink::send_payloads`] call
+    /// (not per attempt) so the disabled path stays off the per-slot hot
+    /// loop entirely.
+    pub(super) struct LinkMetrics {
+        pub attempts: [Counter; 6],
+        pub retransmits: [Counter; 6],
+        pub crc_failures: [Counter; 6],
+        pub header_losses: [Counter; 6],
+        pub delivered: [Counter; 6],
+        pub dropped: [Counter; 6],
+        pub undetected: [Counter; 6],
+        pub slots: [Counter; 6],
+    }
+
+    fn family(registry: &Registry, name: &str) -> [Counter; 6] {
+        PacketType::ALL.map(|pt| registry.counter_with(name, &[("type", pt.label())]))
+    }
+
+    pub(super) fn handles() -> &'static LinkMetrics {
+        static HANDLES: OnceLock<LinkMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let registry = Registry::global();
+            LinkMetrics {
+                attempts: family(registry, "btpan_baseband_attempts_total"),
+                retransmits: family(registry, "btpan_baseband_retransmits_total"),
+                crc_failures: family(registry, "btpan_baseband_crc_failures_total"),
+                header_losses: family(registry, "btpan_baseband_header_losses_total"),
+                delivered: family(registry, "btpan_baseband_payloads_delivered_total"),
+                dropped: family(registry, "btpan_baseband_payloads_dropped_total"),
+                undetected: family(registry, "btpan_baseband_undetected_total"),
+                slots: family(registry, "btpan_baseband_slots_used_total"),
+            }
+        })
+    }
+}
+
 /// Configuration of an ACL link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
@@ -249,6 +291,8 @@ impl<C: ChannelModel> AclLink<C> {
             payloads_requested: payloads,
             ..TransferOutcome::default()
         };
+        let mut crc_failures = 0u64;
+        let mut header_losses = 0u64;
         'payloads: for index in 0..payloads {
             let mut delivered = false;
             for _try in 0..self.cfg.retry_limit {
@@ -270,7 +314,8 @@ impl<C: ChannelModel> AclLink<C> {
                         delivered = true;
                         break;
                     }
-                    AttemptResult::HeaderLost | AttemptResult::PayloadCorrupted => {}
+                    AttemptResult::HeaderLost => header_losses += 1,
+                    AttemptResult::PayloadCorrupted => crc_failures += 1,
                 }
             }
             if delivered {
@@ -281,6 +326,17 @@ impl<C: ChannelModel> AclLink<C> {
             }
         }
         out.slots_used = self.slot_cursor - start_slot;
+        let obs = metrics::handles();
+        let idx = self.cfg.packet_type.index();
+        let payloads_started = out.payloads_delivered + u64::from(out.dropped_at.is_some());
+        obs.attempts[idx].add(out.attempts);
+        obs.retransmits[idx].add(out.attempts - payloads_started);
+        obs.crc_failures[idx].add(crc_failures);
+        obs.header_losses[idx].add(header_losses);
+        obs.delivered[idx].add(out.payloads_delivered);
+        obs.dropped[idx].add(u64::from(out.dropped_at.is_some()));
+        obs.undetected[idx].add(out.undetected);
+        obs.slots[idx].add(out.slots_used);
         out
     }
 

@@ -111,19 +111,35 @@ impl PacketType {
         let secs = (self.slots() + 1) as f64 * 625e-6;
         bytes / secs
     }
-}
 
-impl fmt::Display for PacketType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Canonical spec name, e.g. `"DM1"`.
+    pub const fn label(self) -> &'static str {
+        match self {
             PacketType::Dm1 => "DM1",
             PacketType::Dh1 => "DH1",
             PacketType::Dm3 => "DM3",
             PacketType::Dh3 => "DH3",
             PacketType::Dm5 => "DM5",
             PacketType::Dh5 => "DH5",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Position of this type within [`PacketType::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            PacketType::Dm1 => 0,
+            PacketType::Dh1 => 1,
+            PacketType::Dm3 => 2,
+            PacketType::Dh3 => 3,
+            PacketType::Dm5 => 4,
+            PacketType::Dh5 => 5,
+        }
+    }
+}
+
+impl fmt::Display for PacketType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -1,0 +1,157 @@
+//! Overhead smoke check for the `btpan-obs` registry: with metrics
+//! disabled, instrumentation must cost no more than a relaxed atomic
+//! load per hot-path call (the `bench_stream` <1 % contract).
+//!
+//! Two measurements, both against the `bench_stream` 20k-record mix:
+//!
+//! 1. **micro** — a cached `Counter::inc` in a tight loop with the
+//!    global registry disabled. The gate is a loose wall-clock bound
+//!    (25 ns/op) chosen so a mutex or CAS loop on the disabled path
+//!    fails while honest machine jitter never does.
+//! 2. **macro** — `stream_records` throughput with the registry
+//!    disabled vs enabled, interleaved A/B trials so drift hits both
+//!    arms equally. Reported for EXPERIMENTS.md; informational only,
+//!    because a shared-CI box cannot bound a 1 % delta reliably.
+//!
+//! Exits non-zero when the micro gate fails or the enabled run records
+//! nothing (instrumentation fell off the hot path).
+
+use btpan_collect::entry::{LogRecord, SystemLogEntry, TestLogEntry, WorkloadTag};
+use btpan_faults::{SystemFault, UserFailure};
+use btpan_obs::Registry;
+use btpan_sim::time::{SimDuration, SimTime};
+use btpan_stream::{stream_records, StreamConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const RECORDS: u64 = 20_000;
+const TRIALS: usize = 5;
+const MICRO_OPS: u64 = 20_000_000;
+const MICRO_GATE_NS: f64 = 25.0;
+
+/// The `bench_stream` record mix (packet-loss Test entries over a bed
+/// of System-log noise).
+fn records() -> Vec<LogRecord> {
+    (0..RECORDS)
+        .map(|i| {
+            let at = SimTime::from_secs(i / 2);
+            let node = 1 + (i % 5);
+            if i % 31 == 0 {
+                LogRecord::from_test(
+                    i,
+                    TestLogEntry {
+                        at,
+                        node,
+                        failure: UserFailure::PacketLoss,
+                        workload: WorkloadTag::Random,
+                        packet_type: Some("DM1".to_string()),
+                        packets_sent_before: Some(i),
+                        app: None,
+                        distance_m: 5.0,
+                        idle_before_s: None,
+                    },
+                )
+            } else if i % 7 == 0 {
+                LogRecord::from_system(
+                    i,
+                    SystemLogEntry::new(at, 0, SystemFault::L2capUnexpectedFrame),
+                )
+            } else {
+                LogRecord::from_system(
+                    i,
+                    SystemLogEntry::new(at, node, SystemFault::HciCommandTimeout),
+                )
+            }
+        })
+        .collect()
+}
+
+fn config() -> StreamConfig {
+    StreamConfig {
+        shards: 4,
+        channel_capacity: 1024,
+        window: SimDuration::from_secs(330),
+        watermark_lag: SimDuration::from_secs(660),
+        idle_timeout_ms: None,
+        nap_node: 0,
+        keep_tuples: false,
+    }
+}
+
+fn run_once(input: &[LogRecord]) -> f64 {
+    let start = Instant::now();
+    let outcome = stream_records(black_box(input.to_vec()), &config());
+    let elapsed = start.elapsed().as_secs_f64();
+    black_box(outcome.snapshot.records_emitted);
+    RECORDS as f64 / elapsed
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let registry = Registry::global();
+    registry.disable();
+    registry.reset();
+
+    // Micro gate: the disabled hot path.
+    let counter = registry.counter("btpan_bench_overhead_probe_total");
+    let start = Instant::now();
+    for _ in 0..MICRO_OPS {
+        counter.inc();
+    }
+    let ns_per_op = start.elapsed().as_secs_f64() * 1e9 / MICRO_OPS as f64;
+    println!(
+        "micro: disabled Counter::inc {ns_per_op:.2} ns/op over {MICRO_OPS} ops (gate {MICRO_GATE_NS} ns)"
+    );
+    let mut failed = false;
+    if ns_per_op > MICRO_GATE_NS {
+        eprintln!("FAIL: disabled-path inc costs {ns_per_op:.2} ns/op — more than a relaxed load");
+        failed = true;
+    }
+    if counter.get() != 0 {
+        eprintln!(
+            "FAIL: disabled counter recorded {} increments",
+            counter.get()
+        );
+        failed = true;
+    }
+
+    // Macro A/B: interleave so thermal/scheduler drift hits both arms.
+    let input = records();
+    let mut disabled = Vec::with_capacity(TRIALS);
+    let mut enabled = Vec::with_capacity(TRIALS);
+    run_once(&input); // warm-up, discarded
+    for _ in 0..TRIALS {
+        registry.disable();
+        disabled.push(run_once(&input));
+        registry.enable();
+        enabled.push(run_once(&input));
+    }
+    registry.disable();
+    let d = median(&mut disabled);
+    let e = median(&mut enabled);
+    println!(
+        "macro: stream/core/20k_records {:.0} rec/s disabled, {:.0} rec/s enabled ({:+.2} % when enabled)",
+        d,
+        e,
+        100.0 * (d - e) / d
+    );
+
+    let snap = registry.snapshot();
+    let emitted = snap.counter_family_sum("btpan_stream_records_emitted_total");
+    if emitted == 0 {
+        eprintln!("FAIL: enabled runs emitted no btpan_stream counters");
+        failed = true;
+    }
+    println!(
+        "sanity: enabled trials flushed {emitted} records into btpan_stream_records_emitted_total"
+    );
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("obs overhead smoke: ok");
+}

@@ -41,10 +41,38 @@ use btpan_faults::stress::StressModel;
 use btpan_faults::types::{CauseSite, SystemComponent, UserFailure};
 use btpan_recovery::policy::RecoveryPolicy;
 use btpan_recovery::sira::SiraCosts;
+use btpan_sim::config::ConfigError;
 use btpan_sim::prelude::*;
 use btpan_sim::time::{SimDuration, SimTime};
 use btpan_stack::socket::BindError;
 use btpan_workload::{CycleParams, RandomWorkload, RealisticWorkload, WorkloadKind, WorkloadModel};
+
+mod metrics {
+    use btpan_obs::{Counter, Registry};
+    use std::sync::OnceLock;
+
+    pub(super) struct CampaignMetrics {
+        /// `btpan_campaign_failures_total` — manifested user failures.
+        pub failures: Counter,
+        /// `btpan_campaign_masked_total` — failures prevented by masking.
+        pub masked: Counter,
+        /// `btpan_campaign_cycles_total` — workload cycles completed or
+        /// aborted.
+        pub cycles: Counter,
+    }
+
+    pub(super) fn handles() -> &'static CampaignMetrics {
+        static HANDLES: OnceLock<CampaignMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let registry = Registry::global();
+            CampaignMetrics {
+                failures: registry.counter("btpan_campaign_failures_total"),
+                masked: registry.counter("btpan_campaign_masked_total"),
+                cycles: registry.counter("btpan_campaign_cycles_total"),
+            }
+        })
+    }
+}
 
 /// Per-payload loss/mismatch rates by packet type.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,6 +193,107 @@ impl CampaignConfig {
     pub fn duration(mut self, d: SimDuration) -> Self {
         self.duration = d;
         self
+    }
+
+    /// Starts a validating builder from the paper-calibrated defaults.
+    /// Struct literals remain supported; the builder front-loads checks
+    /// on the fields whose bad values otherwise surface as panics deep
+    /// in the run (a zero noise gap hangs `emit_noise`, a drop rate of
+    /// 1 fails every payload).
+    pub fn builder(
+        seed: u64,
+        workload: WorkloadKind,
+        policy: RecoveryPolicy,
+    ) -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            config: CampaignConfig::paper(seed, workload, policy),
+        }
+    }
+}
+
+/// Validating builder for [`CampaignConfig`].
+///
+/// ```
+/// use btpan_core::campaign::CampaignConfig;
+/// use btpan_recovery::RecoveryPolicy;
+/// use btpan_sim::time::SimDuration;
+/// use btpan_workload::WorkloadKind;
+///
+/// let config = CampaignConfig::builder(7, WorkloadKind::Random, RecoveryPolicy::Siras)
+///     .duration(SimDuration::from_secs(3600))
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.seed, 7);
+///
+/// let err = CampaignConfig::builder(7, WorkloadKind::Random, RecoveryPolicy::Siras)
+///     .base_drop(1.5)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err.field, "base_drop");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Simulated wall-clock duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Field-calibrated base per-payload drop rate.
+    pub fn base_drop(mut self, rate: f64) -> Self {
+        self.config.base_drop = rate;
+        self
+    }
+
+    /// Mean gap of background System-Log noise entries, seconds.
+    pub fn noise_gap_s(mut self, gap_s: f64) -> Self {
+        self.config.noise_gap_s = gap_s;
+        self
+    }
+
+    /// Switch to the paper's special Fig. 3b workload variant.
+    pub fn fig3b_variant(mut self, on: bool) -> Self {
+        self.config.fig3b_variant = on;
+        self
+    }
+
+    /// Control-plane fault rates.
+    pub fn injection(mut self, injection: InjectionConfig) -> Self {
+        self.config.injection = injection;
+        self
+    }
+
+    /// SIRA cost model.
+    pub fn costs(mut self, costs: SiraCosts) -> Self {
+        self.config.costs = costs;
+        self
+    }
+
+    /// Validates and returns the config, failing at construction time.
+    pub fn build(self) -> Result<CampaignConfig, ConfigError> {
+        if self.config.duration.as_micros() == 0 {
+            return Err(ConfigError::new("duration", "must be positive"));
+        }
+        if !(0.0..1.0).contains(&self.config.base_drop) {
+            return Err(ConfigError::new(
+                "base_drop",
+                format!(
+                    "must be in [0, 1), got {}; a rate of 1 drops every payload",
+                    self.config.base_drop
+                ),
+            ));
+        }
+        if self.config.noise_gap_s <= 0.0 || self.config.noise_gap_s.is_nan() {
+            return Err(ConfigError::new(
+                "noise_gap_s",
+                "must be positive; the noise process needs a finite mean gap",
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -352,6 +481,11 @@ impl Campaign {
         let empty_test = TestLog::new(NAP_NODE_ID);
         nap_analyzer.run_once(&empty_test, &nap_log, &repository);
         system_logs.insert(0, nap_log);
+
+        let obs = metrics::handles();
+        obs.failures.add(failure_count);
+        obs.masked.add(masked_count);
+        obs.cycles.add(cycles_run);
 
         CampaignResult {
             repository,

@@ -13,10 +13,18 @@
 //! * `stream` — tail a JSONL trace through the `btpan-stream` engine
 //!   and print live Table-2/Table-4 snapshots, with optional
 //!   checkpoint/resume;
+//! * `metrics` — render the observability registry ([`btpan_obs`]) as a
+//!   JSON envelope or Prometheus text, live or from a `--metrics-out`
+//!   file;
 //! * `markov` — fit and print the analytic availability model.
 //!
 //! All parsing and execution lives here (returning the output as a
 //! string) so it is unit-testable; the binary is a thin wrapper.
+//!
+//! Every `--json` output is wrapped in one envelope (schema documented
+//! in the README): `{"schema_version":…,"command":…,"data":…,
+//! "health":{"status":…,"exit_code":…}}`, so scripts can dispatch on
+//! `command` and gate on `health` without per-command parsers.
 //!
 //! Exit codes: `0` success, `2` usage/I-O/parse error,
 //! [`EXIT_QUARANTINE`] (`3`) when the run succeeded but the trace was
@@ -33,61 +41,73 @@ use btpan_collect::trace::{
     export_trace, import_trace, import_trace_lenient, repository_from_records, QuarantineReport,
 };
 use btpan_faults::{CauseSite, SystemComponent, UserFailure};
+use btpan_obs::{BucketSnapshot, EventRecord, HistogramSnapshot, Registry, Snapshot};
 use btpan_recovery::RecoveryPolicy;
 use btpan_sim::time::SimDuration;
 use btpan_stream::{Checkpoint, LineFramer, StreamConfig, StreamEngine, StreamSnapshot};
 use btpan_workload::WorkloadKind;
-use serde::Serialize;
-use std::fmt;
+use serde::{Number, Serialize, Value};
 use std::io::{Read as _, Seek as _, SeekFrom};
 
 /// Exit code for "the command succeeded, but records were quarantined"
 /// (`analyze --lenient-import` or `stream` on an unhealthy trace).
 pub const EXIT_QUARANTINE: i32 = 3;
 
-/// CLI errors.
-#[derive(Debug)]
-pub enum CliError {
-    /// Unknown subcommand or flag, or missing value.
-    Usage(String),
-    /// File I/O failure.
-    Io(std::io::Error),
-    /// Trace parse failure.
-    Trace(btpan_collect::trace::TraceError),
-    /// Malformed checkpoint file.
-    Checkpoint(String),
+/// Version of the `--json` output envelope; bump on breaking changes to
+/// the envelope itself (each command's `data` payload evolves with its
+/// own compatibility rules).
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// Wraps one command's JSON payload in the uniform envelope. `status`
+/// is the process exit status the run will report; it doubles as the
+/// machine-readable health verdict (`0` → `"ok"`, [`EXIT_QUARANTINE`] →
+/// `"quarantine"`).
+fn json_envelope(command: &str, data: Value, status: i32) -> String {
+    let health_status = if status == EXIT_QUARANTINE {
+        "quarantine"
+    } else {
+        "ok"
+    };
+    let envelope = Value::Object(vec![
+        (
+            "schema_version".into(),
+            Value::Number(Number::U64(JSON_SCHEMA_VERSION)),
+        ),
+        ("command".into(), Value::String(command.into())),
+        ("data".into(), data),
+        (
+            "health".into(),
+            Value::Object(vec![
+                ("status".into(), Value::String(health_status.into())),
+                (
+                    "exit_code".into(),
+                    Value::Number(Number::I64(status.into())),
+                ),
+            ]),
+        ),
+    ]);
+    format!("{envelope}\n")
 }
 
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
-            CliError::Io(e) => write!(f, "io error: {e}"),
-            CliError::Trace(e) => write!(f, "trace error: {e}"),
-            CliError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CliError {}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::Io(e)
-    }
-}
+/// CLI errors: an alias of the workspace-level [`crate::error::Error`].
+/// Historical `CliError::Usage(..)` constructors and patterns keep
+/// working; the binary derives its exit status from
+/// [`Error::exit_code`](crate::error::Error::exit_code).
+pub type CliError = crate::error::Error;
 
 /// The usage text.
 pub const USAGE: &str = "btpan — Bluetooth PAN failure-data toolbench
 
 USAGE:
   btpan campaign [--workload random|realistic] [--policy reboot|app-reboot|siras|siras-masking]
-                 [--hours H] [--seed S] [--export PATH]
+                 [--hours H] [--seed S] [--export PATH] [--metrics-out PATH]
   btpan analyze PATH [--window SECS] [--lenient-import] [--json]
   btpan stream PATH [--window SECS] [--lag SECS] [--shards N] [--snapshot-every N]
                [--follow] [--poll-ms MS] [--idle-exit POLLS] [--idle-timeout-ms MS]
                [--checkpoint PATH] [--resume PATH] [--json]
-  btpan table4 [--seeds N] [--hours H] [--max-retries N] [--seed-timeout SECS]
+               [--metrics-out PATH] [--metrics-every SECS]
+  btpan table4 [--seeds N] [--hours H] [--max-retries N] [--seed-timeout SECS] [--json]
+  btpan metrics [--from PATH] [--prometheus | --json]
   btpan markov [--seeds N] [--hours H]
   btpan model
   btpan help";
@@ -167,6 +187,7 @@ pub fn run_cli(args: &[String]) -> Result<CliOutcome, CliError> {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("table4") => cmd_table4(&args[1..]).map(CliOutcome::ok),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("markov") => cmd_markov(&args[1..]).map(CliOutcome::ok),
         Some("model") => Ok(CliOutcome::ok(render_failure_model())),
         Some("help") | None => Ok(CliOutcome::ok(USAGE.to_string())),
@@ -185,11 +206,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     run_cli(args).map(|outcome| outcome.output)
 }
 
+/// Turns the global registry on (resetting it so the snapshot is scoped
+/// to this run) and returns the prior enabled state for [`restore`].
+///
+/// [`restore`]: restore_metrics
+fn activate_metrics() -> bool {
+    let prior = Registry::global().set_enabled(true);
+    Registry::global().reset();
+    prior
+}
+
+fn restore_metrics(prior: bool) {
+    Registry::global().set_enabled(prior);
+}
+
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let workload = parse_workload(args)?;
     let policy = parse_policy(args)?;
     let hours = parse_u64(args, "--hours", 12)?;
     let seed = parse_u64(args, "--seed", 42)?;
+    let metrics_out = flag_value(args, "--metrics-out");
+    let prior_metrics = metrics_out.is_some().then(activate_metrics);
     let result = Campaign::new(
         CampaignConfig::paper(seed, workload, policy)
             .duration(SimDuration::from_secs(hours * 3600)),
@@ -218,6 +255,12 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             "exported {} records to {path}\n",
             trace.lines().count()
         ));
+    }
+    if let Some(path) = metrics_out {
+        let write_result = std::fs::write(path, Registry::global().snapshot().to_json());
+        restore_metrics(prior_metrics.unwrap_or(false));
+        write_result?;
+        out.push_str(&format!("metrics written to {path}\n"));
     }
     Ok(out)
 }
@@ -332,9 +375,8 @@ fn cmd_analyze(args: &[String]) -> Result<CliOutcome, CliError> {
             quarantine: quarantine.as_ref().map(QuarantineCounts::from_report),
             rows: matrix_rows(&m),
         };
-        let json = serde_json::to_string(&report).expect("report serializes");
         return Ok(CliOutcome {
-            output: format!("{json}\n"),
+            output: json_envelope("analyze", report.to_value(), status),
             status,
         });
     }
@@ -411,6 +453,9 @@ fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
     let idle_exit = parse_u64(flags, "--idle-exit", 10)?.max(1);
     let json = has_flag(args, "--json");
     let checkpoint_path = flag_value(flags, "--checkpoint");
+    let metrics_out = flag_value(flags, "--metrics-out");
+    let metrics_every = parse_u64(flags, "--metrics-every", 0)?;
+    let prior_metrics = (metrics_out.is_some() || metrics_every > 0).then(activate_metrics);
 
     let mut engine = match flag_value(flags, "--resume") {
         Some(cp_path) => {
@@ -473,7 +518,13 @@ fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
             }
             Ok(())
         };
+    let mut last_metrics = std::time::Instant::now();
     loop {
+        if metrics_every > 0 && last_metrics.elapsed().as_secs() >= metrics_every {
+            out.push_str(&Registry::global().snapshot().to_json());
+            out.push('\n');
+            last_metrics = std::time::Instant::now();
+        }
         file.seek(SeekFrom::Start(pos))?;
         let mut chunk = String::new();
         file.read_to_string(&mut chunk)?;
@@ -500,9 +551,17 @@ fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
     write_checkpoint(&mut engine)?;
     let outcome = engine.finish();
     let snap = &outcome.snapshot;
+    if let Some(mp) = metrics_out {
+        // Snapshot after finish() so worker-side flushes are included.
+        std::fs::write(mp, Registry::global().snapshot().to_json())?;
+    }
+    if let Some(prior) = prior_metrics {
+        restore_metrics(prior);
+    }
+    let unhealthy = parse_errors > 0 || snap.late_quarantined > 0;
+    let status = if unhealthy { EXIT_QUARANTINE } else { 0 };
     if json {
-        out.push_str(&serde_json::to_string(snap).expect("snapshot serializes"));
-        out.push('\n');
+        out.push_str(&json_envelope("stream", snap.to_value(), status));
     } else {
         out.push_str(&render_stream_snapshot(snap, "end of stream"));
         if parse_errors > 0 || !outcome.quarantine.is_clean() {
@@ -512,10 +571,9 @@ fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
             ));
         }
     }
-    let unhealthy = parse_errors > 0 || snap.late_quarantined > 0;
     Ok(CliOutcome {
         output: out,
-        status: if unhealthy { EXIT_QUARANTINE } else { 0 },
+        status,
     })
 }
 
@@ -537,8 +595,39 @@ fn cmd_table4(args: &[String]) -> Result<String, CliError> {
                 })
         })
         .transpose()?;
+    let json = has_flag(args, "--json");
     if max_retries.is_none() && seed_timeout.is_none() {
         let report = experiment::table4(&scale);
+        if json {
+            let scenarios = report
+                .scenarios
+                .iter()
+                .map(|(label, m)| {
+                    Value::Object(vec![
+                        ("label".into(), Value::String(label.clone())),
+                        ("mttf_s".into(), Value::Number(Number::F64(m.mttf_s))),
+                        ("mttr_s".into(), Value::Number(Number::F64(m.mttr_s))),
+                        (
+                            "availability".into(),
+                            Value::Number(Number::F64(m.availability)),
+                        ),
+                        (
+                            "coverage_percent".into(),
+                            Value::Number(Number::F64(m.coverage_percent)),
+                        ),
+                        (
+                            "masking_percent".into(),
+                            Value::Number(Number::F64(m.masking_percent)),
+                        ),
+                    ])
+                })
+                .collect();
+            let data = Value::Object(vec![
+                ("mode".into(), Value::String("plain".into())),
+                ("scenarios".into(), Value::Array(scenarios)),
+            ]);
+            return Ok(json_envelope("table4", data, 0));
+        }
         let mut out = format!(
             "{:<26} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
             "scenario", "MTTF", "MTTR", "avail", "cov%", "mask%"
@@ -558,6 +647,44 @@ fn cmd_table4(args: &[String]) -> Result<String, CliError> {
         ..SupervisorConfig::default()
     };
     let supervised = experiment::table4_supervised(&scale, &supervisor);
+    if json {
+        let scenarios = supervised
+            .scenarios
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("label".into(), Value::String(s.label.clone())),
+                    (
+                        "mttf_s".into(),
+                        Value::Number(Number::F64(s.measurement.mttf_s)),
+                    ),
+                    (
+                        "mttr_s".into(),
+                        Value::Number(Number::F64(s.measurement.mttr_s)),
+                    ),
+                    (
+                        "availability".into(),
+                        Value::Number(Number::F64(s.measurement.availability)),
+                    ),
+                    ("coverage".into(), Value::Number(Number::F64(s.coverage))),
+                    ("mttf_ci".into(), Value::String(s.mttf_ci.to_string())),
+                ])
+            })
+            .collect();
+        let data = Value::Object(vec![
+            ("mode".into(), Value::String("supervised".into())),
+            (
+                "attempts".into(),
+                Value::Number(Number::U64(supervised.attempts)),
+            ),
+            (
+                "min_coverage".into(),
+                Value::Number(Number::F64(supervised.min_coverage())),
+            ),
+            ("scenarios".into(), Value::Array(scenarios)),
+        ]);
+        return Ok(json_envelope("table4", data, 0));
+    }
     let mut out = format!(
         "supervised run: {} attempts, min seed coverage {:.2}\n",
         supervised.attempts,
@@ -578,6 +705,127 @@ fn cmd_table4(args: &[String]) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+/// Rebuilds a [`Snapshot`] from the canonical JSON that
+/// [`Snapshot::to_json`] (and `--metrics-out`) writes, via the
+/// snapshot's public fields.
+fn snapshot_from_json(text: &str) -> Result<Snapshot, String> {
+    fn entries<'a>(v: &'a Value, key: &str) -> Result<&'a [(String, Value)], String> {
+        match v.get(key) {
+            Some(Value::Object(entries)) => Ok(entries),
+            _ => Err(format!("missing object field `{key}`")),
+        }
+    }
+    fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing u64 field `{key}`"))
+    }
+    fn opt_u64_field(v: &Value, key: &str) -> Result<Option<u64>, String> {
+        match v.get(key) {
+            Some(Value::Null) => Ok(None),
+            Some(n) => n
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("field `{key}` is not a u64")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+    let v = serde_json::value_from_str(text.trim()).map_err(|e| e.to_string())?;
+    let schema_version = u64_field(&v, "schema_version")?;
+    if schema_version != u64::from(btpan_obs::SNAPSHOT_SCHEMA_VERSION) {
+        return Err(format!("unsupported snapshot schema {schema_version}"));
+    }
+    let counters = entries(&v, "counters")?
+        .iter()
+        .map(|(k, n)| {
+            n.as_u64()
+                .map(|n| (k.clone(), n))
+                .ok_or_else(|| format!("counter `{k}` is not a u64"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let gauges = entries(&v, "gauges")?
+        .iter()
+        .map(|(k, n)| {
+            n.as_i64()
+                .map(|n| (k.clone(), n))
+                .ok_or_else(|| format!("gauge `{k}` is not an i64"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let histograms = entries(&v, "histograms")?
+        .iter()
+        .map(|(k, h)| {
+            let buckets = match h.get("buckets") {
+                Some(Value::Array(buckets)) => buckets
+                    .iter()
+                    .map(|b| {
+                        Ok(BucketSnapshot {
+                            le: u64_field(b, "le")?,
+                            count: u64_field(b, "count")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err(format!("histogram `{k}` has no bucket array")),
+            };
+            Ok((
+                k.clone(),
+                HistogramSnapshot {
+                    count: u64_field(h, "count")?,
+                    sum: u64_field(h, "sum")?,
+                    min: opt_u64_field(h, "min")?,
+                    max: opt_u64_field(h, "max")?,
+                    buckets,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let events = match v.get("events") {
+        Some(Value::Array(events)) => events
+            .iter()
+            .map(|e| {
+                let field = |key: &str| {
+                    e.get(key)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("event without string `{key}`"))
+                };
+                Ok(EventRecord {
+                    seq: u64_field(e, "seq")?,
+                    name: field("name")?,
+                    detail: field("detail")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("missing event array".into()),
+    };
+    Ok(Snapshot {
+        schema_version: btpan_obs::SNAPSHOT_SCHEMA_VERSION,
+        counters,
+        gauges,
+        histograms,
+        events,
+        events_dropped: u64_field(&v, "events_dropped")?,
+    })
+}
+
+/// `btpan metrics` — renders the process-global registry (or a snapshot
+/// file written by `--metrics-out`) as the JSON envelope (default) or
+/// Prometheus text exposition (`--prometheus`).
+fn cmd_metrics(args: &[String]) -> Result<CliOutcome, CliError> {
+    let snapshot = match flag_value(args, "--from") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            snapshot_from_json(&text)
+                .map_err(|reason| CliError::Usage(format!("--from {path}: {reason}")))?
+        }
+        None => Registry::global().snapshot(),
+    };
+    if has_flag(args, "--prometheus") {
+        return Ok(CliOutcome::ok(snapshot.to_prometheus()));
+    }
+    let data = serde_json::value_from_str(&snapshot.to_json()).expect("snapshot JSON parses");
+    Ok(CliOutcome::ok(json_envelope("metrics", data, 0)))
 }
 
 fn cmd_markov(args: &[String]) -> Result<String, CliError> {
@@ -901,5 +1149,183 @@ mod tests {
     fn analyze_requires_path() {
         let err = run(&args(&["analyze"])).unwrap_err();
         assert!(err.to_string().contains("needs a trace path"));
+    }
+
+    /// Parses one `--json` output line and checks the envelope frame.
+    fn envelope(output: &str, command: &str, status: i32) -> Value {
+        let v = serde_json::value_from_str(output.trim()).expect("envelope parses");
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_u64),
+            Some(JSON_SCHEMA_VERSION),
+            "{output}"
+        );
+        assert_eq!(
+            v.get("command").and_then(Value::as_str),
+            Some(command),
+            "{output}"
+        );
+        let health = v.get("health").expect("health block").clone();
+        assert_eq!(
+            health.get("exit_code").and_then(Value::as_i64),
+            Some(i64::from(status))
+        );
+        let expected = if status == EXIT_QUARANTINE {
+            "quarantine"
+        } else {
+            "ok"
+        };
+        assert_eq!(health.get("status").and_then(Value::as_str), Some(expected));
+        v.get("data").expect("data block").clone()
+    }
+
+    #[test]
+    fn analyze_json_wraps_report_in_envelope() {
+        let path = std::env::temp_dir().join("btpan_cli_envelope_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "6", "--seed", "9", "--export", path_s,
+        ]))
+        .unwrap();
+        let outcome = run_cli(&args(&["analyze", path_s, "--json"])).unwrap();
+        let data = envelope(&outcome.output, "analyze", outcome.status);
+        assert!(data.get("records").and_then(Value::as_u64).unwrap() > 0);
+        assert!(data.get("rows").is_some());
+        // Corrupt a line: the envelope health mirrors the exit status.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(0, "!!not a record!!\n");
+        std::fs::write(&path, &text).unwrap();
+        let outcome = run_cli(&args(&["analyze", path_s, "--lenient-import", "--json"])).unwrap();
+        assert_eq!(outcome.status, EXIT_QUARANTINE);
+        let data = envelope(&outcome.output, "analyze", EXIT_QUARANTINE);
+        let quarantined = data
+            .get("quarantine")
+            .and_then(|q| q.get("quarantined"))
+            .and_then(Value::as_u64);
+        assert_eq!(quarantined, Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table4_json_envelope_has_both_modes() {
+        let plain = run(&args(&["table4", "--seeds", "1", "--hours", "2", "--json"])).unwrap();
+        let data = envelope(&plain, "table4", 0);
+        assert_eq!(data.get("mode").and_then(Value::as_str), Some("plain"));
+        let scenarios = match data.get("scenarios") {
+            Some(Value::Array(s)) => s.clone(),
+            other => panic!("scenarios missing: {other:?}"),
+        };
+        assert_eq!(scenarios.len(), 4, "one per recovery policy");
+        assert!(scenarios[0].get("mttf_s").and_then(Value::as_f64).is_some());
+
+        let supervised = run(&args(&[
+            "table4",
+            "--seeds",
+            "1",
+            "--hours",
+            "2",
+            "--max-retries",
+            "1",
+            "--json",
+        ]))
+        .unwrap();
+        let data = envelope(&supervised, "table4", 0);
+        assert_eq!(data.get("mode").and_then(Value::as_str), Some("supervised"));
+        assert!(data.get("attempts").and_then(Value::as_u64).unwrap() >= 8);
+        assert_eq!(data.get("min_coverage").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn campaign_metrics_out_round_trips_through_metrics_cmd() {
+        let _guard = btpan_obs::testing::exclusive();
+        // The guard enables the registry; start from the user-facing
+        // default (disabled) so the restore assertion below is real.
+        Registry::global().disable();
+        let path = std::env::temp_dir().join("btpan_cli_metrics_test.json");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let out = run(&args(&[
+            "campaign",
+            "--hours",
+            "4",
+            "--seed",
+            "13",
+            "--metrics-out",
+            path_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        assert!(
+            !Registry::global().is_enabled(),
+            "campaign must restore the prior (disabled) registry state"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The file re-renders identically through `metrics --from`.
+        let snapshot = snapshot_from_json(&text).expect("snapshot file parses");
+        assert_eq!(snapshot.to_json(), text, "reconstruction is lossless");
+        assert!(
+            snapshot.counter_family_sum("btpan_campaign_cycles_total") > 0,
+            "{text}"
+        );
+        let json = run_cli(&args(&["metrics", "--from", path_s])).unwrap();
+        let data = envelope(&json.output, "metrics", 0);
+        assert!(data.get("counters").is_some());
+        let prom = run_cli(&args(&["metrics", "--from", path_s, "--prometheus"])).unwrap();
+        assert!(
+            prom.output
+                .contains("# TYPE btpan_campaign_cycles_total counter"),
+            "{}",
+            prom.output
+        );
+        // A live registry (no --from) renders too, even when disabled.
+        let live = run_cli(&args(&["metrics"])).unwrap();
+        envelope(&live.output, "metrics", 0);
+        // Garbage input is a usage error naming the file.
+        std::fs::write(&path, "{\"schema_version\":99}").unwrap();
+        let err = run_cli(&args(&["metrics", "--from", path_s])).unwrap_err();
+        assert!(err.to_string().contains("unsupported snapshot schema"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_metrics_every_emits_live_snapshots() {
+        let _guard = btpan_obs::testing::exclusive();
+        let path = std::env::temp_dir().join("btpan_cli_stream_metrics_test.jsonl");
+        let path_s = path.to_str().expect("utf8 temp path");
+        run(&args(&[
+            "campaign", "--hours", "4", "--seed", "19", "--export", path_s,
+        ]))
+        .unwrap();
+        let metrics = std::env::temp_dir().join("btpan_cli_stream_metrics_out.json");
+        let metrics_s = metrics.to_str().expect("utf8 temp path");
+        let outcome = run_cli(&args(&[
+            "stream",
+            path_s,
+            "--follow",
+            "--poll-ms",
+            "1200",
+            "--idle-exit",
+            "2",
+            "--metrics-every",
+            "1",
+            "--metrics-out",
+            metrics_s,
+        ]))
+        .unwrap();
+        assert_eq!(outcome.status, 0, "{}", outcome.output);
+        // The single idle poll sleeps 1.2 s > the 1 s cadence, so at
+        // least one periodic snapshot line precedes the final render.
+        let live_lines = outcome
+            .output
+            .lines()
+            .filter(|l| l.starts_with("{\"schema_version\""))
+            .count();
+        assert!(live_lines >= 1, "{}", outcome.output);
+        let snapshot =
+            snapshot_from_json(&std::fs::read_to_string(&metrics).unwrap()).expect("parses");
+        assert!(
+            snapshot.counter_family_sum("btpan_stream_records_emitted_total") > 0,
+            "stream counters flushed to --metrics-out"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&metrics).ok();
     }
 }

@@ -27,16 +27,20 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod error;
 pub mod experiment;
 pub mod machine;
 pub mod runner;
 pub mod supervisor;
 pub mod testbed;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult};
+pub use campaign::{Campaign, CampaignConfig, CampaignConfigBuilder, CampaignResult};
+pub use error::Error;
 pub use machine::{paper_machines, MachineRole};
 pub use runner::run_seeds;
-pub use supervisor::{run_supervised, SeedVerdict, SupervisedOutcome, SupervisorConfig};
+pub use supervisor::{
+    run_supervised, SeedVerdict, SupervisedOutcome, SupervisorConfig, SupervisorConfigBuilder,
+};
 pub use testbed::Testbed;
 
 /// Convenient re-exports of the whole stack for downstream users.

@@ -31,10 +31,50 @@
 //! result is then dropped. The budget bounds what enters the pooled
 //! statistics, not the worker's lifetime.
 
+use btpan_sim::config::ConfigError;
 use crossbeam::channel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 use std::time::{Duration, Instant};
+
+mod metrics {
+    use btpan_obs::{Counter, Gauge, Histogram, Registry};
+    use std::sync::OnceLock;
+
+    pub(super) struct SupervisorMetrics {
+        /// `btpan_supervisor_attempts_total` — work attempts, retries
+        /// included.
+        pub attempts: Counter,
+        /// `btpan_supervisor_retries_total` — panicked attempts re-queued.
+        pub retries: Counter,
+        /// `btpan_supervisor_timeouts_total` — seeds whose wall-clock
+        /// budget was blown (result discarded).
+        pub timeouts: Counter,
+        /// `btpan_supervisor_panics_total` — seeds that exhausted retries.
+        pub panics: Counter,
+        /// `btpan_supervisor_workers_busy` — workers currently inside
+        /// `work(seed)` (worker utilization).
+        pub workers_busy: Gauge,
+        /// `btpan_supervisor_seed_duration_us` — wall-clock time per
+        /// attempt.
+        pub seed_duration_us: Histogram,
+    }
+
+    pub(super) fn handles() -> &'static SupervisorMetrics {
+        static HANDLES: OnceLock<SupervisorMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let registry = Registry::global();
+            SupervisorMetrics {
+                attempts: registry.counter("btpan_supervisor_attempts_total"),
+                retries: registry.counter("btpan_supervisor_retries_total"),
+                timeouts: registry.counter("btpan_supervisor_timeouts_total"),
+                panics: registry.counter("btpan_supervisor_panics_total"),
+                workers_busy: registry.gauge("btpan_supervisor_workers_busy"),
+                seed_duration_us: registry.histogram("btpan_supervisor_seed_duration_us"),
+            }
+        })
+    }
+}
 
 /// What happened to one seed under supervision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +124,16 @@ impl Default for SupervisorConfig {
 }
 
 impl SupervisorConfig {
+    /// Starts a validating builder. Struct literals remain supported;
+    /// the builder front-loads the checks that otherwise surface as
+    /// surprising runtime behaviour (a zero backoff busy-loops retries,
+    /// a zero timeout discards every seed).
+    pub fn builder() -> SupervisorConfigBuilder {
+        SupervisorConfigBuilder {
+            config: SupervisorConfig::default(),
+        }
+    }
+
     /// Backoff before retry attempt `attempt` (1-based) of `seed`:
     /// exponential with a deterministic jitter in `[0, 100%)` of the
     /// step, derived from `(campaign_seed, seed, attempt)`.
@@ -96,6 +146,76 @@ impl SupervisorConfig {
             as f64
             / u64::MAX as f64;
         step + Duration::from_secs_f64(step.as_secs_f64() * jitter_unit)
+    }
+}
+
+/// Validating builder for [`SupervisorConfig`].
+///
+/// ```
+/// use btpan_core::supervisor::SupervisorConfig;
+/// use std::time::Duration;
+///
+/// let config = SupervisorConfig::builder()
+///     .max_retries(2)
+///     .seed_timeout(Duration::from_secs(30))
+///     .campaign_seed(7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.max_retries, 2);
+///
+/// let err = SupervisorConfig::builder()
+///     .backoff_base(Duration::ZERO)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err.field, "backoff_base");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupervisorConfigBuilder {
+    config: SupervisorConfig,
+}
+
+impl SupervisorConfigBuilder {
+    /// Retries allowed per seed after a panic.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Per-seed wall-clock budget.
+    pub fn seed_timeout(mut self, budget: Duration) -> Self {
+        self.config.seed_timeout = Some(budget);
+        self
+    }
+
+    /// Base backoff before the first retry.
+    pub fn backoff_base(mut self, base: Duration) -> Self {
+        self.config.backoff_base = base;
+        self
+    }
+
+    /// Campaign-level seed for retry jitter.
+    pub fn campaign_seed(mut self, seed: u64) -> Self {
+        self.config.campaign_seed = seed;
+        self
+    }
+
+    /// Validates and returns the config, failing at construction time.
+    pub fn build(self) -> Result<SupervisorConfig, ConfigError> {
+        if self.config.backoff_base.is_zero() {
+            return Err(ConfigError::new(
+                "backoff_base",
+                "must be positive; a zero backoff busy-loops panicking retries",
+            ));
+        }
+        if let Some(budget) = self.config.seed_timeout {
+            if budget.is_zero() {
+                return Err(ConfigError::new(
+                    "seed_timeout",
+                    "must be positive; a zero budget discards every seed",
+                ));
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -243,9 +363,14 @@ where
                         thread::sleep(job.delay);
                     }
                     let seed = job.seed;
+                    let obs = metrics::handles();
+                    obs.workers_busy.inc();
                     let start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| work(seed)));
                     let elapsed = start.elapsed();
+                    obs.workers_busy.dec();
+                    obs.seed_duration_us
+                        .observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
                     let event = match outcome {
                         Ok(result) => Event::Done {
                             index: job.index,
@@ -276,6 +401,7 @@ where
         while pending > 0 {
             let event = event_rx.recv().expect("workers alive while jobs pending");
             attempts += 1;
+            metrics::handles().attempts.inc();
             match event {
                 Event::Done {
                     index,
@@ -285,6 +411,7 @@ where
                 } => {
                     pending -= 1;
                     if over_budget(config, elapsed) {
+                        metrics::handles().timeouts.inc();
                         verdicts[index] = SeedVerdict::TimedOut;
                     } else {
                         results[index] = Some(result);
@@ -306,10 +433,12 @@ where
                     // are not retried.
                     if over_budget(config, elapsed) {
                         pending -= 1;
+                        metrics::handles().timeouts.inc();
                         verdicts[index] = SeedVerdict::TimedOut;
                     } else if attempt < config.max_retries {
                         let next = attempt + 1;
                         let seed = seeds[index];
+                        metrics::handles().retries.inc();
                         job_tx
                             .send(Job {
                                 index,
@@ -320,6 +449,7 @@ where
                             .expect("job queue open");
                     } else {
                         pending -= 1;
+                        metrics::handles().panics.inc();
                         verdicts[index] = SeedVerdict::Panicked(message);
                     }
                 }
@@ -460,6 +590,32 @@ mod tests {
         let out = run_supervised(&[], &cfg(), |s| s);
         assert!(out.results.is_empty());
         assert_eq!(out.coverage(), 1.0);
+    }
+
+    #[test]
+    fn builder_validates_at_construction() {
+        let ok = SupervisorConfig::builder()
+            .max_retries(3)
+            .backoff_base(Duration::from_millis(5))
+            .seed_timeout(Duration::from_secs(1))
+            .campaign_seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(ok.max_retries, 3);
+        assert_eq!(ok.seed_timeout, Some(Duration::from_secs(1)));
+        assert_eq!(ok.campaign_seed, 42);
+
+        let err = SupervisorConfig::builder()
+            .backoff_base(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "backoff_base");
+
+        let err = SupervisorConfig::builder()
+            .seed_timeout(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "seed_timeout");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! # btpan-obs — zero-overhead observability for the BT-PAN reproduction
+//!
+//! The paper's contribution rests on *instrumentation*: always-on
+//! Test-Log/System-Log monitors captured 356,551 failure-data items which
+//! were then coalesced into error→failure chains. This crate is the
+//! reproduction's equivalent of those monitors for the simulator itself: a
+//! dependency-free, lock-light metrics core that every workspace crate can
+//! embed without measurable cost when disabled.
+//!
+//! ## Design
+//!
+//! * [`Registry`] owns a name → metric map behind a mutex that is touched
+//!   only at *registration* time. Callers cache the returned handles
+//!   (typically in a `OnceLock`), so the steady-state hot path never locks.
+//! * [`Counter`] / [`Gauge`] are single atomics. [`Histogram`] is
+//!   log₂-bucketed (65 buckets cover the full `u64` range) plus
+//!   count/sum/min/max atomics — `observe` is a handful of relaxed RMWs.
+//! * Every handle carries the registry's `enabled` flag; when the registry
+//!   is disabled each operation is one relaxed load and a branch. The
+//!   contract (enforced by `scripts/ci.sh`) is <1% overhead on
+//!   `bench_stream` with the registry disabled.
+//! * [`SpanTimer`] is an RAII timer: it captures an `Instant` only when the
+//!   registry is enabled at construction and observes the elapsed
+//!   microseconds into its histogram on drop.
+//! * [`Registry::record_event`] appends to a fixed-capacity structured
+//!   event ring; once full, the oldest entry is evicted and a drop counter
+//!   is bumped, so the ring can never grow without bound.
+//! * [`Registry::snapshot`] produces a [`Snapshot`] that renders to
+//!   versioned JSON ([`Snapshot::to_json`]) and Prometheus text exposition
+//!   ([`Snapshot::to_prometheus`]).
+//!
+//! ## Naming convention
+//!
+//! Metrics are named `btpan_<crate>_<name>` with Prometheus-style
+//! suffixes (`_total` for counters, unit suffixes like `_us` for
+//! histograms). Labels are baked into the registered key, e.g.
+//! `btpan_recovery_recovered_total{failure="NAP not found",sira="BT stack reset"}`.
+//!
+//! ## Example
+//!
+//! ```
+//! use btpan_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.enable();
+//! let hits = registry.counter("btpan_demo_hits_total");
+//! hits.inc();
+//! hits.add(2);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("btpan_demo_hits_total"), Some(3));
+//! assert!(snap.to_prometheus().contains("btpan_demo_hits_total 3"));
+//! ```
+
+mod registry;
+mod ring;
+mod snapshot;
+pub mod testing;
+
+pub use registry::{Counter, Gauge, Histogram, Registry, SpanTimer, HISTOGRAM_BUCKETS};
+pub use ring::{EventRecord, RING_CAPACITY};
+pub use snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot, SNAPSHOT_SCHEMA_VERSION};

@@ -1,0 +1,621 @@
+//! The metric registry and its handle types.
+//!
+//! Locking discipline: the registry's mutex guards only the name → metric
+//! map and is taken at registration and snapshot time. The handles returned
+//! by [`Registry::counter`] et al. share the underlying atomic cells via
+//! `Arc`, so callers that cache handles (the intended pattern — see the
+//! `metrics` modules in the instrumented crates, which hold them in a
+//! `OnceLock`) never touch the lock on the hot path. When the registry is
+//! disabled, every handle operation is a single relaxed load plus a branch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::ring::EventRing;
+use crate::snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket 0 holds the value 0,
+/// bucket `i` (1..=64) holds values in `[2^(i-1), 2^i - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+struct CounterCell {
+    value: AtomicU64,
+}
+
+struct GaugeCell {
+    value: AtomicI64,
+}
+
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while the histogram is empty.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Index of the log₂ bucket for `value` (0 for 0, else `64 - clz`).
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `index`.
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+enum Metric {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct RegistryInner {
+    enabled: AtomicBool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    ring: EventRing,
+}
+
+/// A process-wide (or test-local) collection of named metrics.
+///
+/// Cloning a `Registry` is cheap and yields a second view of the same
+/// underlying metrics. A fresh registry starts **disabled**: handles may be
+/// created and cached, but every update is dropped after one relaxed
+/// atomic load until [`Registry::enable`] is called.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty, disabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                enabled: AtomicBool::new(false),
+                metrics: Mutex::new(BTreeMap::new()),
+                ring: EventRing::new(),
+            }),
+        }
+    }
+
+    /// The process-global registry used by the instrumented crates.
+    /// Starts disabled; `--metrics-out` (and the test harness) enable it.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Turns metric collection on.
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns metric collection off. Registered metrics keep their values.
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Sets the enabled flag, returning the previous state.
+    pub fn set_enabled(&self, enabled: bool) -> bool {
+        self.inner.enabled.swap(enabled, Ordering::Relaxed)
+    }
+
+    /// Whether updates are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every registered metric *in place* and clears the event ring.
+    ///
+    /// Handles cached by instrumented code (e.g. in `OnceLock`s) stay
+    /// valid: the underlying cells are reset, never replaced.
+    pub fn reset(&self) {
+        let metrics = self.inner.metrics.lock().expect("obs registry lock");
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.value.store(0, Ordering::Relaxed),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+        self.inner.ring.clear();
+    }
+
+    fn lookup<T, F, G>(&self, key: String, matches: F, create: G) -> T
+    where
+        F: Fn(&Metric) -> Option<T>,
+        G: FnOnce() -> (Metric, T),
+    {
+        let mut metrics = self.inner.metrics.lock().expect("obs registry lock");
+        if let Some(existing) = metrics.get(&key) {
+            match matches(existing) {
+                Some(handle) => handle,
+                None => panic!("metric `{key}` already registered as a {}", existing.kind()),
+            }
+        } else {
+            let (metric, handle) = create();
+            metrics.insert(key, metric);
+            handle
+        }
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let found = Arc::clone(&self.inner);
+        let fresh = Arc::clone(&self.inner);
+        self.lookup(
+            name.to_string(),
+            move |m| match m {
+                Metric::Counter(c) => Some(Counter {
+                    inner: Arc::clone(&found),
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+            move || {
+                let cell = Arc::new(CounterCell {
+                    value: AtomicU64::new(0),
+                });
+                (
+                    Metric::Counter(Arc::clone(&cell)),
+                    Counter { inner: fresh, cell },
+                )
+            },
+        )
+    }
+
+    /// Labeled variant of [`Registry::counter`]; labels are baked into the
+    /// registered key as `name{k="v",…}`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&keyed(name, labels))
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let found = Arc::clone(&self.inner);
+        let fresh = Arc::clone(&self.inner);
+        self.lookup(
+            name.to_string(),
+            move |m| match m {
+                Metric::Gauge(g) => Some(Gauge {
+                    inner: Arc::clone(&found),
+                    cell: Arc::clone(g),
+                }),
+                _ => None,
+            },
+            move || {
+                let cell = Arc::new(GaugeCell {
+                    value: AtomicI64::new(0),
+                });
+                (
+                    Metric::Gauge(Arc::clone(&cell)),
+                    Gauge { inner: fresh, cell },
+                )
+            },
+        )
+    }
+
+    /// Labeled variant of [`Registry::gauge`].
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&keyed(name, labels))
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let found = Arc::clone(&self.inner);
+        let fresh = Arc::clone(&self.inner);
+        self.lookup(
+            name.to_string(),
+            move |m| match m {
+                Metric::Histogram(h) => Some(Histogram {
+                    inner: Arc::clone(&found),
+                    cell: Arc::clone(h),
+                }),
+                _ => None,
+            },
+            move || {
+                let cell = Arc::new(HistogramCell::new());
+                (
+                    Metric::Histogram(Arc::clone(&cell)),
+                    Histogram { inner: fresh, cell },
+                )
+            },
+        )
+    }
+
+    /// Labeled variant of [`Registry::histogram`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(&keyed(name, labels))
+    }
+
+    /// Appends a structured event to the fixed-capacity ring (no-op while
+    /// disabled). Once the ring is full the oldest event is evicted and the
+    /// drop counter is bumped.
+    pub fn record_event(&self, name: &str, detail: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.ring.push(name, detail.into());
+    }
+
+    /// Captures a point-in-time [`Snapshot`] of every registered metric and
+    /// the recent events.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.inner.metrics.lock().expect("obs registry lock");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.push((name.clone(), c.value.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(g) => {
+                    gauges.push((name.clone(), g.value.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(h) => {
+                    let count = h.count.load(Ordering::Relaxed);
+                    let mut buckets = Vec::new();
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        let n = b.load(Ordering::Relaxed);
+                        if n > 0 {
+                            buckets.push(BucketSnapshot {
+                                le: bucket_upper_bound(i),
+                                count: n,
+                            });
+                        }
+                    }
+                    histograms.push((
+                        name.clone(),
+                        HistogramSnapshot {
+                            count,
+                            sum: h.sum.load(Ordering::Relaxed),
+                            min: if count == 0 {
+                                None
+                            } else {
+                                Some(h.min.load(Ordering::Relaxed))
+                            },
+                            max: if count == 0 {
+                                None
+                            } else {
+                                Some(h.max.load(Ordering::Relaxed))
+                            },
+                            buckets,
+                        },
+                    ));
+                }
+            }
+        }
+        let (events, events_dropped) = self.inner.ring.snapshot();
+        Snapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped,
+        }
+    }
+}
+
+/// Formats `name{k="v",…}` with `\` and `"` escaped in label values.
+fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + labels.len() * 16);
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => key.push_str("\\\\"),
+                '"' => key.push_str("\\\""),
+                '\n' => key.push_str("\\n"),
+                _ => key.push(ch),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+/// A monotonically increasing event count. One relaxed load + branch when
+/// the owning registry is disabled; one extra relaxed `fetch_add` when on.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<RegistryInner>,
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (reads even while disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, busy workers, …).
+#[derive(Clone)]
+pub struct Gauge {
+    inner: Arc<RegistryInner>,
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, value: i64) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            self.cell.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if self.inner.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value (reads even while disabled).
+    pub fn get(&self) -> i64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed distribution with exact count/sum/min/max.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<RegistryInner>,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(value, Ordering::Relaxed);
+        self.cell.min.fetch_min(value, Ordering::Relaxed);
+        self.cell.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII timer that observes the elapsed **microseconds** into
+    /// this histogram when dropped. If the registry is disabled at
+    /// construction, the timer is inert (no clock read at all).
+    pub fn start_timer(&self) -> SpanTimer {
+        let start = if self.inner.enabled.load(Ordering::Relaxed) {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanTimer {
+            histogram: self.clone(),
+            start,
+        }
+    }
+
+    /// Number of recorded observations (reads even while disabled).
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations (reads even while disabled).
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII span timer produced by [`Histogram::start_timer`].
+pub struct SpanTimer {
+    histogram: Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Abandons the span without recording it.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.histogram.observe(micros);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_drops_updates() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        c.inc();
+        g.set(7);
+        h.observe(3);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        r.enable();
+        c.inc();
+        g.set(7);
+        h.observe(3);
+        assert_eq!(c.get(), 1);
+        assert_eq!(g.get(), 7);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn handles_share_cells_across_lookups() {
+        let r = Registry::new();
+        r.enable();
+        let a = r.counter("shared");
+        let b = r.counter("shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_keeping_handles_valid() {
+        let r = Registry::new();
+        r.enable();
+        let c = r.counter("c");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        assert_eq!(r.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m");
+        let _ = r.gauge("m");
+    }
+
+    #[test]
+    fn labeled_keys_are_escaped_and_ordered() {
+        let r = Registry::new();
+        r.enable();
+        r.counter_with("c", &[("failure", "NAP \"lost\""), ("sira", "reset")])
+            .inc();
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters[0].0,
+            "c{failure=\"NAP \\\"lost\\\"\",sira=\"reset\"}"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+
+        let r = Registry::new();
+        r.enable();
+        let h = r.histogram("h");
+        for v in [0, 1, 2, 3, 900] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hist = snap.histogram("h").expect("registered");
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.sum, 906);
+        assert_eq!(hist.min, Some(0));
+        assert_eq!(hist.max, Some(900));
+        // value 0 → le 0; 1 → le 1; 2,3 → le 3; 900 → le 1023.
+        let le: Vec<(u64, u64)> = hist.buckets.iter().map(|b| (b.le, b.count)).collect();
+        assert_eq!(le, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
+    }
+
+    #[test]
+    fn span_timer_observes_on_drop_only_when_enabled() {
+        let r = Registry::new();
+        let h = r.histogram("h_us");
+        drop(h.start_timer()); // disabled: inert
+        assert_eq!(h.count(), 0);
+        r.enable();
+        drop(h.start_timer());
+        assert_eq!(h.count(), 1);
+        h.start_timer().discard();
+        assert_eq!(h.count(), 1);
+    }
+}

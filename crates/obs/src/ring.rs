@@ -1,0 +1,104 @@
+//! Fixed-capacity structured event ring.
+//!
+//! The ring is the obs-layer analogue of the paper's System-Log monitor: a
+//! bounded window of the most recent notable events (worker retries, shard
+//! closures, SIRA escalations, …). It is deliberately small and lossy —
+//! when full, the oldest record is evicted and `dropped` is bumped so the
+//! loss is visible in snapshots.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Maximum number of events retained.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Event name, conventionally `btpan_<crate>_<event>`.
+    pub name: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+struct RingInner {
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<EventRecord>,
+}
+
+pub(crate) struct EventRing {
+    inner: Mutex<RingInner>,
+}
+
+impl EventRing {
+    pub(crate) fn new() -> Self {
+        EventRing {
+            inner: Mutex::new(RingInner {
+                next_seq: 0,
+                dropped: 0,
+                events: VecDeque::with_capacity(64),
+            }),
+        }
+    }
+
+    pub(crate) fn push(&self, name: &str, detail: String) {
+        let mut inner = self.inner.lock().expect("obs ring lock");
+        if inner.events.len() == RING_CAPACITY {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(EventRecord {
+            seq,
+            name: name.to_string(),
+            detail,
+        });
+    }
+
+    /// Returns (events oldest→newest, dropped count).
+    pub(crate) fn snapshot(&self) -> (Vec<EventRecord>, u64) {
+        let inner = self.inner.lock().expect("obs ring lock");
+        (inner.events.iter().cloned().collect(), inner.dropped)
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock().expect("obs ring lock");
+        inner.events.clear();
+        inner.dropped = 0;
+        inner.next_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new();
+        for i in 0..(RING_CAPACITY + 3) {
+            ring.push("e", format!("{i}"));
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), RING_CAPACITY);
+        assert_eq!(dropped, 3);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[0].detail, "3");
+        assert_eq!(events.last().unwrap().seq, (RING_CAPACITY + 2) as u64);
+    }
+
+    #[test]
+    fn clear_resets_sequence() {
+        let ring = EventRing::new();
+        ring.push("e", "x".into());
+        ring.clear();
+        ring.push("e", "y".into());
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(events[0].seq, 0);
+    }
+}

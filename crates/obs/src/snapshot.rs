@@ -1,0 +1,361 @@
+//! Point-in-time snapshot of a [`crate::Registry`] plus its two wire
+//! renderings: versioned JSON and Prometheus text exposition.
+//!
+//! Both encoders are hand-rolled so the crate stays dependency-free; the
+//! JSON is deliberately canonical (metrics in registry `BTreeMap` order, no
+//! whitespace) so golden tests and byte-level diffing are stable.
+
+use crate::ring::EventRecord;
+
+/// Version stamped into [`Snapshot::to_json`]; bump on breaking schema
+/// changes.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// One non-empty log₂ bucket: `count` observations with value ≤ `le`
+/// (and greater than the previous bucket's bound). Non-cumulative; the
+/// Prometheus encoder accumulates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    pub le: u64,
+    pub count: u64,
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `None` while empty.
+    pub min: Option<u64>,
+    /// `None` while empty.
+    pub max: Option<u64>,
+    /// Non-empty buckets in ascending `le` order.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations, if any.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// Frozen state of a whole registry. Fields are public so external crates
+/// (e.g. the CLI's `metrics --from` path) can rebuild a snapshot from a
+/// parsed JSON file and re-render it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub schema_version: u32,
+    /// `(key, value)` in ascending key order; keys may carry baked labels.
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Recent structured events, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Events evicted from the ring since the last reset.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Value of the counter with exactly this key (including labels).
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of the gauge with exactly this key.
+    pub fn gauge(&self, key: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// The histogram with exactly this key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of every counter whose key starts with `prefix` (useful for
+    /// totalling a labeled family).
+    pub fn counter_family_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// Canonical single-line JSON rendering (schema documented in README).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema_version\":");
+        out.push_str(&self.schema_version.to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.sum.to_string());
+            out.push_str(",\"min\":");
+            match h.min {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"max\":");
+            match h.max {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"buckets\":[");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"le\":");
+                out.push_str(&b.le.to_string());
+                out.push_str(",\"count\":");
+                out.push_str(&b.count.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"seq\":");
+            out.push_str(&e.seq.to_string());
+            out.push_str(",\"name\":");
+            push_json_string(&mut out, &e.name);
+            out.push_str(",\"detail\":");
+            push_json_string(&mut out, &e.detail);
+            out.push('}');
+        }
+        out.push_str("],\"events_dropped\":");
+        out.push_str(&self.events_dropped.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition format (version 0.0.4). Histograms emit
+    /// cumulative `_bucket{le=…}` series plus `_sum`/`_count`; events are
+    /// omitted (they are not metrics).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut last_base = String::new();
+        for (key, value) in &self.counters {
+            type_line(&mut out, &mut last_base, key, "counter");
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (key, value) in &self.gauges {
+            type_line(&mut out, &mut last_base, key, "gauge");
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (key, hist) in &self.histograms {
+            type_line(&mut out, &mut last_base, key, "histogram");
+            let (base, labels) = split_key(key);
+            let mut cumulative = 0u64;
+            for bucket in &hist.buckets {
+                cumulative += bucket.count;
+                push_series(
+                    &mut out,
+                    base,
+                    "_bucket",
+                    labels,
+                    Some(&bucket.le.to_string()),
+                );
+                out.push(' ');
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            push_series(&mut out, base, "_bucket", labels, Some("+Inf"));
+            out.push(' ');
+            out.push_str(&hist.count.to_string());
+            out.push('\n');
+            push_series(&mut out, base, "_sum", labels, None);
+            out.push(' ');
+            out.push_str(&hist.sum.to_string());
+            out.push('\n');
+            push_series(&mut out, base, "_count", labels, None);
+            out.push(' ');
+            out.push_str(&hist.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Splits a registered key into (base name, label body without braces).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(open) => (&key[..open], &key[open + 1..key.len() - 1]),
+        None => (key, ""),
+    }
+}
+
+/// Emits a `# TYPE` comment the first time each base name appears.
+fn type_line(out: &mut String, last_base: &mut String, key: &str, kind: &str) {
+    let (base, _) = split_key(key);
+    if base != last_base {
+        out.push_str("# TYPE ");
+        out.push_str(base);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        *last_base = base.to_string();
+    }
+}
+
+/// Emits `base<suffix>{labels,le="…"}` (labels and `le` both optional).
+fn push_series(out: &mut String, base: &str, suffix: &str, labels: &str, le: Option<&str>) {
+    out.push_str(base);
+    out.push_str(suffix);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        out.push_str(labels);
+        if let Some(le) = le {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes, control chars).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.enable();
+        r.counter("btpan_demo_hits_total").add(3);
+        r.counter_with("btpan_demo_err_total", &[("kind", "crc")])
+            .inc();
+        r.gauge("btpan_demo_depth").set(-2);
+        let h = r.histogram("btpan_demo_lat_us");
+        h.observe(1);
+        h.observe(5);
+        h.observe(5);
+        r.record_event("btpan_demo_evt", "hello \"world\"");
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_golden() {
+        assert_eq!(
+            sample().to_json(),
+            concat!(
+                "{\"schema_version\":1,",
+                "\"counters\":{",
+                "\"btpan_demo_err_total{kind=\\\"crc\\\"}\":1,",
+                "\"btpan_demo_hits_total\":3},",
+                "\"gauges\":{\"btpan_demo_depth\":-2},",
+                "\"histograms\":{\"btpan_demo_lat_us\":",
+                "{\"count\":3,\"sum\":11,\"min\":1,\"max\":5,",
+                "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":7,\"count\":2}]}},",
+                "\"events\":[{\"seq\":0,\"name\":\"btpan_demo_evt\",",
+                "\"detail\":\"hello \\\"world\\\"\"}],",
+                "\"events_dropped\":0}"
+            )
+        );
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        assert_eq!(
+            sample().to_prometheus(),
+            concat!(
+                "# TYPE btpan_demo_err_total counter\n",
+                "btpan_demo_err_total{kind=\"crc\"} 1\n",
+                "# TYPE btpan_demo_hits_total counter\n",
+                "btpan_demo_hits_total 3\n",
+                "# TYPE btpan_demo_depth gauge\n",
+                "btpan_demo_depth -2\n",
+                "# TYPE btpan_demo_lat_us histogram\n",
+                "btpan_demo_lat_us_bucket{le=\"1\"} 1\n",
+                "btpan_demo_lat_us_bucket{le=\"7\"} 3\n",
+                "btpan_demo_lat_us_bucket{le=\"+Inf\"} 3\n",
+                "btpan_demo_lat_us_sum 11\n",
+                "btpan_demo_lat_us_count 3\n",
+            )
+        );
+    }
+
+    #[test]
+    fn family_sum_totals_labeled_counters() {
+        let r = Registry::new();
+        r.enable();
+        r.counter_with("fam_total", &[("a", "x")]).add(2);
+        r.counter_with("fam_total", &[("a", "y")]).add(5);
+        r.counter("other_total").add(100);
+        assert_eq!(r.snapshot().counter_family_sum("fam_total"), 7);
+    }
+
+    #[test]
+    fn empty_histogram_renders_null_min_max() {
+        let r = Registry::new();
+        let _ = r.histogram("h");
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"min\":null,\"max\":null"));
+    }
+}

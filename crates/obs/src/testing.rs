@@ -1,0 +1,66 @@
+//! Test support for code instrumented against [`Registry::global`].
+//!
+//! The global registry is process-wide mutable state, so tests that assert
+//! *exact* metric values must not run concurrently with each other (cargo
+//! runs `#[test]`s in one process on many threads). [`exclusive`] hands out
+//! a guard backed by a static mutex: while held, the global registry is
+//! enabled and freshly reset; on drop it is reset and disabled again so
+//! unrelated tests observe the default-off registry.
+//!
+//! Tests needing exact counts should additionally live in their own
+//! integration-test binary (own OS process) when they coexist with other
+//! tests that drive instrumented code paths without taking the guard.
+
+use std::sync::{Mutex, MutexGuard};
+
+use crate::Registry;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Exclusive, enabled, freshly-reset access to [`Registry::global`].
+pub struct ExclusiveRegistry {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl ExclusiveRegistry {
+    /// The global registry (enabled while this guard lives).
+    pub fn registry(&self) -> &'static Registry {
+        Registry::global()
+    }
+}
+
+impl Drop for ExclusiveRegistry {
+    fn drop(&mut self) {
+        let registry = Registry::global();
+        registry.disable();
+        registry.reset();
+    }
+}
+
+/// Acquires the test lock, resets and enables the global registry.
+pub fn exclusive() -> ExclusiveRegistry {
+    // A panicking test poisons the lock; the () payload carries no state,
+    // so recover rather than cascade the failure into unrelated tests.
+    let guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let registry = Registry::global();
+    registry.reset();
+    registry.enable();
+    ExclusiveRegistry { _guard: guard }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_enables_then_restores_disabled() {
+        {
+            let guard = exclusive();
+            assert!(guard.registry().is_enabled());
+            guard.registry().counter("t").inc();
+            assert_eq!(guard.registry().snapshot().counter("t"), Some(1));
+        }
+        assert!(!Registry::global().is_enabled());
+        assert_eq!(Registry::global().snapshot().counter("t"), Some(0));
+    }
+}

@@ -58,7 +58,7 @@ pub fn execute_cascade(
     rng: &mut SimRng,
 ) -> RecoveryOutcome {
     let mut duration = costs.detection_delay(failure, rng);
-    match SiraProfiles::sample_severity(failure, rng) {
+    let outcome = match SiraProfiles::sample_severity(failure, rng) {
         None => RecoveryOutcome {
             failure,
             succeeded_by: None,
@@ -80,7 +80,9 @@ pub fn execute_cascade(
                 duration,
             }
         }
-    }
+    };
+    crate::metrics::record_outcome(&outcome);
+    outcome
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 
 pub mod executor;
 pub mod masking;
+pub(crate) mod metrics;
 pub mod policy;
 pub mod sira;
 

@@ -1,0 +1,69 @@
+//! Live Table 3: per-SIRA attempt/success counters and recovery timing.
+//!
+//! Every [`crate::RecoveryOutcome`] produced anywhere in the workspace —
+//! the cascade executor and the two non-cascade policy branches — flows
+//! through [`record_outcome`], so the registry carries, at any instant, a
+//! streaming equivalent of the paper's Table 3: the
+//! `btpan_recovery_recovered_total{failure=…,sira=…}` family counts which
+//! action recovered which failure, and
+//! `btpan_recovery_unrecoverable_total{failure=…}` counts the data
+//! mismatches no SIRA can heal.
+
+use btpan_faults::{Sira, UserFailure};
+use btpan_obs::{Counter, Histogram, Registry};
+use std::sync::OnceLock;
+
+pub(crate) struct RecoveryMetrics {
+    /// `btpan_recovery_outcomes_total` — recoveries executed.
+    pub outcomes: Counter,
+    /// `btpan_recovery_attempts_total{sira=…}` — one per action tried.
+    pub attempts: [Counter; 7],
+    /// `btpan_recovery_recovered_total{failure=…,sira=…}` — Table 3 cells.
+    pub recovered: [[Counter; 7]; 10],
+    /// `btpan_recovery_unrecoverable_total{failure=…}`.
+    pub unrecoverable: [Counter; 10],
+    /// `btpan_recovery_duration_us` — simulated detection + recovery time.
+    pub duration_us: Histogram,
+}
+
+pub(crate) fn handles() -> &'static RecoveryMetrics {
+    static HANDLES: OnceLock<RecoveryMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = Registry::global();
+        RecoveryMetrics {
+            outcomes: registry.counter("btpan_recovery_outcomes_total"),
+            attempts: Sira::ALL.map(|sira| {
+                registry.counter_with("btpan_recovery_attempts_total", &[("sira", sira.label())])
+            }),
+            recovered: UserFailure::ALL.map(|failure| {
+                Sira::ALL.map(|sira| {
+                    registry.counter_with(
+                        "btpan_recovery_recovered_total",
+                        &[("failure", failure.label()), ("sira", sira.label())],
+                    )
+                })
+            }),
+            unrecoverable: UserFailure::ALL.map(|failure| {
+                registry.counter_with(
+                    "btpan_recovery_unrecoverable_total",
+                    &[("failure", failure.label())],
+                )
+            }),
+            duration_us: registry.histogram("btpan_recovery_duration_us"),
+        }
+    })
+}
+
+/// Records one finished recovery into the live Table 3 counters.
+pub(crate) fn record_outcome(outcome: &crate::RecoveryOutcome) {
+    let obs = handles();
+    obs.outcomes.inc();
+    for sira in &outcome.attempted {
+        obs.attempts[sira.index()].inc();
+    }
+    match outcome.succeeded_by {
+        Some(sira) => obs.recovered[outcome.failure.index()][sira.index()].inc(),
+        None => obs.unrecoverable[outcome.failure.index()].inc(),
+    }
+    obs.duration_us.observe(outcome.duration.as_micros());
+}

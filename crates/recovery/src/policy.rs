@@ -76,13 +76,15 @@ impl RecoveryPolicy {
             RecoveryPolicy::RebootOnly => {
                 let mut duration = costs.detection_delay(failure, rng);
                 duration += costs.sample(Sira::SystemReboot, is_pda, rng);
-                RecoveryOutcome {
+                let outcome = RecoveryOutcome {
                     failure,
                     succeeded_by: Some(Sira::SystemReboot),
                     severity: Some(Sira::SystemReboot.severity()),
                     attempted: vec![Sira::SystemReboot],
                     duration,
-                }
+                };
+                crate::metrics::record_outcome(&outcome);
+                outcome
             }
             RecoveryPolicy::AppRestartThenReboot => {
                 let mut duration = costs.detection_delay(failure, rng);
@@ -96,7 +98,7 @@ impl RecoveryPolicy {
                 // (scenario ii.2), sending the user to the reboot.
                 let intrinsic = SiraProfiles::sample_severity(failure, rng);
                 let recurs = rng.chance(Self::P_RECUR_AFTER_RESTART);
-                match intrinsic {
+                let outcome = match intrinsic {
                     Some(s) if s <= Sira::AppRestart.severity() && !recurs => RecoveryOutcome {
                         failure,
                         succeeded_by: Some(Sira::AppRestart),
@@ -114,7 +116,9 @@ impl RecoveryPolicy {
                             duration,
                         }
                     }
-                }
+                };
+                crate::metrics::record_outcome(&outcome);
+                outcome
             }
         }
     }

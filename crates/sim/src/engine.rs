@@ -10,6 +10,33 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+mod metrics {
+    use btpan_obs::{Counter, Gauge, Registry};
+    use std::sync::OnceLock;
+
+    pub(super) struct EngineMetrics {
+        /// `btpan_sim_events_total` — events processed by `run_until`/`step`.
+        pub events: Counter,
+        /// `btpan_sim_slots_total` — 625 µs Bluetooth slots of simulated
+        /// time advanced (slots/s once divided by wall time).
+        pub slots: Counter,
+        /// `btpan_sim_queue_depth` — pending events after the last run.
+        pub queue_depth: Gauge,
+    }
+
+    pub(super) fn handles() -> &'static EngineMetrics {
+        static HANDLES: OnceLock<EngineMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let registry = Registry::global();
+            EngineMetrics {
+                events: registry.counter("btpan_sim_events_total"),
+                slots: registry.counter("btpan_sim_slots_total"),
+                queue_depth: registry.gauge("btpan_sim_queue_depth"),
+            }
+        })
+    }
+}
+
 /// A world that reacts to events of type `E`.
 pub trait EventHandler<E> {
     /// Handles `event` occurring at `now`; may schedule follow-ups.
@@ -155,6 +182,7 @@ impl<E> Engine<E> {
     /// would fire after `deadline`. Events exactly at the deadline are
     /// processed. Returns the number of events processed by this call.
     pub fn run_until<W: EventHandler<E>>(&mut self, deadline: SimTime, world: &mut W) -> u64 {
+        let started_at = self.scheduler.now;
         let mut n = 0;
         while let Some(head) = self.scheduler.queue.peek() {
             if head.at > deadline {
@@ -171,6 +199,13 @@ impl<E> Engine<E> {
             self.scheduler.now = deadline;
         }
         self.processed += n;
+        let obs = metrics::handles();
+        obs.events.add(n);
+        obs.slots.add(
+            (self.scheduler.now.as_micros() - started_at.as_micros())
+                / crate::time::SLOT.as_micros(),
+        );
+        obs.queue_depth.set(self.scheduler.queue.len() as i64);
         n
     }
 

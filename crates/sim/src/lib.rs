@@ -30,6 +30,7 @@
 //! assert!(sample >= 10.0);
 //! ```
 
+pub mod config;
 pub mod dist;
 pub mod engine;
 pub mod rng;
@@ -38,6 +39,7 @@ pub mod time;
 
 pub mod prelude {
     //! Convenient re-exports of the most used simulation types.
+    pub use crate::config::ConfigError;
     pub use crate::dist::{
         Bernoulli, Categorical, Distribution, Exponential, Geometric, LogNormal, Pareto,
         TruncatedPareto, UniformF64, UniformU64, Weibull,

@@ -96,9 +96,11 @@ impl BnepInterface {
         up_at: SimTime,
     ) -> Result<(), BnepError> {
         if self.created_at.is_some() {
+            crate::metrics::error(crate::metrics::Protocol::Bnep);
             return Err(BnepError::Occupied);
         }
         if up_at < created_at {
+            crate::metrics::error(crate::metrics::Protocol::Bnep);
             return Err(BnepError::ModuleMissing);
         }
         self.created_at = Some(created_at);
@@ -119,6 +121,7 @@ impl BnepInterface {
     /// [`BnepError::ModuleMissing`] when the interface is not up yet.
     pub fn encapsulate(&mut self, now: SimTime, len: u32) -> Result<u32, BnepError> {
         if self.state_at(now) != InterfaceState::Up {
+            crate::metrics::error(crate::metrics::Protocol::Bnep);
             return Err(BnepError::ModuleMissing);
         }
         self.frames_encapsulated += 1;

@@ -117,6 +117,7 @@ impl HciController {
     ) -> Result<HciHandle, HciError> {
         self.commands_issued += 1;
         if self.handles.len() >= Self::MAX_HANDLES {
+            crate::metrics::error(crate::metrics::Protocol::Hci);
             return Err(HciError::NoFreeHandles);
         }
         // find a free handle value (wrap at 0xEFF)
@@ -155,19 +156,23 @@ impl HciController {
     pub fn command(&mut self, handle: HciHandle, now: SimTime, busy: bool) -> Result<(), HciError> {
         self.commands_issued += 1;
         if busy {
+            crate::metrics::error(crate::metrics::Protocol::Hci);
             return Err(HciError::CommandTimeout);
         }
-        match self.handles.get_mut(&handle.0) {
-            None => Err(HciError::InvalidHandle),
-            Some(state) => match *state {
-                HandleState::Open => Ok(()),
-                HandleState::Pending { usable_at } if now >= usable_at => {
-                    *state = HandleState::Open;
-                    Ok(())
-                }
-                HandleState::Pending { .. } => Err(HciError::InvalidHandle),
+        crate::metrics::count(
+            crate::metrics::Protocol::Hci,
+            match self.handles.get_mut(&handle.0) {
+                None => Err(HciError::InvalidHandle),
+                Some(state) => match *state {
+                    HandleState::Open => Ok(()),
+                    HandleState::Pending { usable_at } if now >= usable_at => {
+                        *state = HandleState::Open;
+                        Ok(())
+                    }
+                    HandleState::Pending { .. } => Err(HciError::InvalidHandle),
+                },
             },
-        }
+        )
     }
 
     /// Tears down a connection handle.
@@ -177,10 +182,13 @@ impl HciController {
     /// Fails with [`HciError::InvalidHandle`] for an unknown handle.
     pub fn disconnect(&mut self, handle: HciHandle) -> Result<(), HciError> {
         self.commands_issued += 1;
-        self.handles
-            .remove(&handle.0)
-            .map(|_| ())
-            .ok_or(HciError::InvalidHandle)
+        crate::metrics::count(
+            crate::metrics::Protocol::Hci,
+            self.handles
+                .remove(&handle.0)
+                .map(|_| ())
+                .ok_or(HciError::InvalidHandle),
+        )
     }
 
     /// Drops every handle (BT stack reset / reboot).

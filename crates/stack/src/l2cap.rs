@@ -134,10 +134,12 @@ impl L2capChannel {
         self.state = ChannelState::WaitConnectRsp;
         if timed_out {
             self.state = ChannelState::Closed;
+            crate::metrics::error(crate::metrics::Protocol::L2cap);
             return Err(L2capError::ConnectTimeout);
         }
         if refused {
             self.state = ChannelState::Closed;
+            crate::metrics::error(crate::metrics::Protocol::L2cap);
             return Err(L2capError::ConnectRefused);
         }
         self.state = ChannelState::WaitConfig;
@@ -155,6 +157,7 @@ impl L2capChannel {
     /// [`L2capError::NotOpen`] if the channel is not open.
     pub fn send_sdu(&mut self, len: u32) -> Result<u32, L2capError> {
         if self.state != ChannelState::Open {
+            crate::metrics::error(crate::metrics::Protocol::L2cap);
             return Err(L2capError::NotOpen);
         }
         self.sdus_sent += 1;

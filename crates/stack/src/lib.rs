@@ -34,6 +34,75 @@
 //! * [`wire`] — byte-level packet codecs (HCI, L2CAP signalling, BNEP
 //!   headers) with exhaustive decode-error reporting.
 
+pub(crate) mod metrics {
+    //! Per-protocol observability handles (`btpan_stack_*`), cached once
+    //! and shared by every module in the crate.
+
+    use btpan_obs::{Counter, Histogram, Registry};
+    use std::sync::OnceLock;
+
+    /// Index into the per-protocol error-counter family.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) enum Protocol {
+        Hci,
+        L2cap,
+        Sdp,
+        Pan,
+        Bnep,
+        Socket,
+        Transport,
+        Wire,
+    }
+
+    const PROTOCOL_LABELS: [&str; 8] = [
+        "hci",
+        "l2cap",
+        "sdp",
+        "pan",
+        "bnep",
+        "socket",
+        "transport",
+        "wire",
+    ];
+
+    pub(crate) struct StackMetrics {
+        /// `btpan_stack_errors_total{protocol=…}`.
+        pub errors: [Counter; 8],
+        /// `btpan_stack_sdp_search_us` — simulated SDP transaction time.
+        pub sdp_search_us: Histogram,
+        /// `btpan_stack_pan_connect_us` — simulated time from the PAN
+        /// connect API call to the interface being fully up (`T_C + T_H`).
+        pub pan_connect_us: Histogram,
+    }
+
+    pub(crate) fn handles() -> &'static StackMetrics {
+        static HANDLES: OnceLock<StackMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let registry = Registry::global();
+            StackMetrics {
+                errors: PROTOCOL_LABELS.map(|protocol| {
+                    registry.counter_with("btpan_stack_errors_total", &[("protocol", protocol)])
+                }),
+                sdp_search_us: registry.histogram("btpan_stack_sdp_search_us"),
+                pan_connect_us: registry.histogram("btpan_stack_pan_connect_us"),
+            }
+        })
+    }
+
+    /// Records one error for `protocol`.
+    pub(crate) fn error(protocol: Protocol) {
+        handles().errors[protocol as usize].inc();
+    }
+
+    /// Passes `result` through, counting an error for `protocol` on `Err`.
+    pub(crate) fn count<T, E>(protocol: Protocol, result: Result<T, E>) -> Result<T, E> {
+        if result.is_err() {
+            error(protocol);
+        }
+        result
+    }
+}
+
 pub mod bnep;
 pub mod enhanced;
 pub mod hci;

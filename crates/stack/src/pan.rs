@@ -119,10 +119,17 @@ impl PanProfile {
     ) -> Result<&PanConnection, PanError> {
         self.connects_attempted += 1;
         if self.connection.is_some() {
+            crate::metrics::error(crate::metrics::Protocol::Pan);
             return Err(PanError::AlreadyConnected);
         }
         let timing = self.hotplug.sample(now, rng);
-        let handle = hci.create_connection(now, timing.l2cap_usable_at.since(now))?;
+        let handle = crate::metrics::count(
+            crate::metrics::Protocol::Pan,
+            hci.create_connection(now, timing.l2cap_usable_at.since(now)),
+        )?;
+        crate::metrics::handles()
+            .pan_connect_us
+            .observe(timing.iface_up_at.since(now).as_micros());
         let mut interface = BnepInterface::new();
         interface
             .schedule_bring_up(timing.iface_created_at, timing.iface_up_at)
@@ -142,7 +149,10 @@ impl PanProfile {
     ///
     /// [`PanError::NotConnected`] when there is nothing to disconnect.
     pub fn disconnect(&mut self, hci: &mut HciController) -> Result<(), PanError> {
-        let conn = self.connection.take().ok_or(PanError::NotConnected)?;
+        let conn = self.connection.take().ok_or_else(|| {
+            crate::metrics::error(crate::metrics::Protocol::Pan);
+            PanError::NotConnected
+        })?;
         // The handle may already be gone after a stack reset; both fine.
         let _ = hci.disconnect(conn.handle);
         Ok(())

@@ -118,17 +118,20 @@ impl SdpDatabase {
         refused: bool,
         dropped_from_reply: bool,
     ) -> Result<&ServiceRecord, SdpError> {
-        if refused {
-            return Err(SdpError::ConnectionRefused);
-        }
-        let record = self
-            .records
-            .get(&uuid)
-            .ok_or(SdpError::ServiceNotReturned)?;
-        if dropped_from_reply {
-            return Err(SdpError::ServiceNotReturned);
-        }
-        Ok(record)
+        crate::metrics::handles()
+            .sdp_search_us
+            .observe(Self::search_latency().as_micros());
+        crate::metrics::count(crate::metrics::Protocol::Sdp, {
+            if refused {
+                Err(SdpError::ConnectionRefused)
+            } else {
+                match self.records.get(&uuid) {
+                    None => Err(SdpError::ServiceNotReturned),
+                    Some(_) if dropped_from_reply => Err(SdpError::ServiceNotReturned),
+                    Some(record) => Ok(record),
+                }
+            }
+        })
     }
 
     /// Typical duration of one search transaction.

@@ -109,12 +109,15 @@ impl IpSocket {
     /// A [`BindError`] naming which half of the race was lost.
     pub fn bind(&mut self, conn: &PanConnection, now: SimTime) -> Result<(), BindError> {
         if now < conn.timing.l2cap_usable_at {
+            crate::metrics::error(crate::metrics::Protocol::Socket);
             return Err(BindError::HciInvalidHandle);
         }
         if now < conn.timing.iface_created_at {
+            crate::metrics::error(crate::metrics::Protocol::Socket);
             return Err(BindError::InterfaceMissing);
         }
         if now < conn.timing.iface_up_at {
+            crate::metrics::error(crate::metrics::Protocol::Socket);
             return Err(BindError::InterfaceNotConfigured);
         }
         self.state = SocketState::Bound;

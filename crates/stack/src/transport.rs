@@ -120,6 +120,7 @@ impl Transport for UsbTransport {
 
     fn send(&mut self, _payload: &[u8], rng: &mut SimRng) -> Result<(), TransportError> {
         if rng.chance(self.p_address_reject) {
+            crate::metrics::error(crate::metrics::Protocol::Transport);
             return Err(TransportError::UsbAddressRejected);
         }
         self.delivered += 1;
@@ -198,6 +199,7 @@ impl BcspTransport {
                 // Window overflow: unrecoverable ordering violation.
                 self.pending.clear();
                 self.expected_seq = self.next_seq;
+                crate::metrics::error(crate::metrics::Protocol::Transport);
                 return Err(TransportError::BcspOutOfOrder);
             }
             self.pending.push_back(frame);
@@ -225,6 +227,7 @@ impl Transport for BcspTransport {
         loop {
             attempts += 1;
             if attempts > self.retry_limit {
+                crate::metrics::error(crate::metrics::Protocol::Transport);
                 return Err(TransportError::BcspMissing);
             }
             if rng.chance(self.p_loss) {

@@ -176,6 +176,10 @@ pub mod hci {
         /// [`WireError`] for truncation, bad lengths or unknown
         /// indicators.
         pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+            crate::metrics::count(crate::metrics::Protocol::Wire, Self::decode_raw(bytes))
+        }
+
+        fn decode_raw(bytes: &[u8]) -> Result<Packet, WireError> {
             let ind = *bytes
                 .first()
                 .ok_or(WireError::Truncated { needed: 1, got: 0 })?;
@@ -288,6 +292,10 @@ pub mod l2cap {
         ///
         /// [`WireError`] on truncation or length mismatch.
         pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+            crate::metrics::count(crate::metrics::Protocol::Wire, Self::decode_raw(bytes))
+        }
+
+        fn decode_raw(bytes: &[u8]) -> Result<Frame, WireError> {
             if bytes.len() < 4 {
                 return Err(WireError::Truncated {
                     needed: 4,
@@ -376,6 +384,10 @@ pub mod l2cap {
         ///
         /// [`WireError`] on truncation, bad length, or unknown code.
         pub fn decode(bytes: &[u8]) -> Result<(Signal, u8), WireError> {
+            crate::metrics::count(crate::metrics::Protocol::Wire, Self::decode_raw(bytes))
+        }
+
+        fn decode_raw(bytes: &[u8]) -> Result<(Signal, u8), WireError> {
             if bytes.len() < 4 {
                 return Err(WireError::Truncated {
                     needed: 4,
@@ -503,6 +515,10 @@ pub mod bnep {
         /// [`WireError`] for truncation, unknown types, or a set
         /// extension bit (unsupported on the data path).
         pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+            crate::metrics::count(crate::metrics::Protocol::Wire, Self::decode_raw(bytes))
+        }
+
+        fn decode_raw(bytes: &[u8]) -> Result<Packet, WireError> {
             let head = *bytes
                 .first()
                 .ok_or(WireError::Truncated { needed: 1, got: 0 })?;

@@ -40,12 +40,50 @@ use btpan_collect::entry::{LogRecord, NodeId};
 use btpan_collect::relate::{observations_in, RelationshipMatrix};
 use btpan_collect::trace::QuarantineReport;
 use btpan_faults::UserFailure;
+use btpan_sim::config::ConfigError;
 use btpan_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The paper's Table 1 coalescence window (330 s).
 pub const DEFAULT_WINDOW: SimDuration = SimDuration::from_secs(330);
+
+pub(crate) mod metrics {
+    use btpan_obs::{Counter, Gauge, Registry};
+    use std::sync::OnceLock;
+
+    pub(crate) struct StreamMetrics {
+        /// `btpan_stream_records_emitted_total` — records released by the
+        /// merge in canonical order.
+        pub emitted: Counter,
+        /// `btpan_stream_late_quarantined_total` — records refused for
+        /// arriving at or behind their shard's frontier.
+        pub late: Counter,
+        /// `btpan_stream_duplicates_dropped_total` — exact and
+        /// conflicting duplicates dropped by the merge.
+        pub duplicates: Counter,
+        /// `btpan_stream_resident_records` — records currently buffered
+        /// across all shard merge buffers (the memory bound, live).
+        pub resident: Gauge,
+        /// `btpan_stream_watermark_lag_us` — max shard watermark minus
+        /// the emitted watermark: how far emission trails ingestion.
+        pub watermark_lag_us: Gauge,
+    }
+
+    pub(crate) fn handles() -> &'static StreamMetrics {
+        static HANDLES: OnceLock<StreamMetrics> = OnceLock::new();
+        HANDLES.get_or_init(|| {
+            let registry = Registry::global();
+            StreamMetrics {
+                emitted: registry.counter("btpan_stream_records_emitted_total"),
+                late: registry.counter("btpan_stream_late_quarantined_total"),
+                duplicates: registry.counter("btpan_stream_duplicates_dropped_total"),
+                resident: registry.gauge("btpan_stream_resident_records"),
+                watermark_lag_us: registry.gauge("btpan_stream_watermark_lag_us"),
+            }
+        })
+    }
+}
 
 /// Tuning knobs of the streaming engine. Serializable so a checkpoint
 /// carries the exact configuration it was taken under.
@@ -90,6 +128,100 @@ impl StreamConfig {
     /// The configured idle timeout as a `Duration`, if enabled.
     pub fn idle_timeout(&self) -> Option<std::time::Duration> {
         self.idle_timeout_ms.map(std::time::Duration::from_millis)
+    }
+
+    /// Starts a validating builder. Struct literals remain supported;
+    /// the builder rejects at construction time what `StreamCore::new`
+    /// would otherwise panic on (zero shards) or silently misbehave
+    /// under (zero window collapses every tuple, zero lag quarantines
+    /// all reordering).
+    pub fn builder() -> StreamConfigBuilder {
+        StreamConfigBuilder {
+            config: StreamConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`StreamConfig`].
+///
+/// ```
+/// use btpan_stream::StreamConfig;
+///
+/// let config = StreamConfig::builder().shards(8).build().unwrap();
+/// assert_eq!(config.shards, 8);
+///
+/// let err = StreamConfig::builder().shards(0).build().unwrap_err();
+/// assert_eq!(err.field, "shards");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamConfigBuilder {
+    config: StreamConfig,
+}
+
+impl StreamConfigBuilder {
+    /// Number of ingestion shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Bounded capacity of each shard's ingest channel.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.config.channel_capacity = capacity;
+        self
+    }
+
+    /// Tupling coalescence window.
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// How far the emit frontier trails each shard's watermark.
+    pub fn watermark_lag(mut self, lag: SimDuration) -> Self {
+        self.config.watermark_lag = lag;
+        self
+    }
+
+    /// Idle-shard kick timeout (`None` disables it).
+    pub fn idle_timeout_ms(mut self, timeout_ms: Option<u64>) -> Self {
+        self.config.idle_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// The NAP's node id.
+    pub fn nap_node(mut self, node: NodeId) -> Self {
+        self.config.nap_node = node;
+        self
+    }
+
+    /// Retain closed global tuples in the outcome.
+    pub fn keep_tuples(mut self, keep: bool) -> Self {
+        self.config.keep_tuples = keep;
+        self
+    }
+
+    /// Validates and returns the config, failing at construction time.
+    pub fn build(self) -> Result<StreamConfig, ConfigError> {
+        if self.config.shards == 0 {
+            return Err(ConfigError::new("shards", "must be at least 1"));
+        }
+        if self.config.channel_capacity == 0 {
+            return Err(ConfigError::new("channel_capacity", "must be at least 1"));
+        }
+        if self.config.window.as_micros() == 0 {
+            return Err(ConfigError::new(
+                "window",
+                "must be positive; a zero window collapses every tuple",
+            ));
+        }
+        if self.config.watermark_lag.as_micros() == 0 {
+            return Err(ConfigError::new(
+                "watermark_lag",
+                "must be positive; a zero lag quarantines any reordering",
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -210,6 +342,7 @@ impl StreamCore {
         if let Some(frontier) = state.frontier {
             if at <= frontier {
                 self.late_quarantined += 1;
+                metrics::handles().late.inc();
                 self.quarantine_detail(
                     seq,
                     format!("late record: at {at} ≤ shard frontier {frontier}"),
@@ -219,6 +352,7 @@ impl StreamCore {
         }
         let key = (at.as_micros(), seq);
         if let Some(existing) = state.buffer.get(&key) {
+            metrics::handles().duplicates.inc();
             if *existing == rec {
                 self.duplicates_dropped += 1;
                 self.quarantine_detail(seq, "duplicate record".to_string());
@@ -341,12 +475,26 @@ impl StreamCore {
             }
         }
         self.resident -= batch.len();
+        let emitted_now = batch.len() as u64;
         batch.sort_by_key(|r| (r.at, r.seq));
         for rec in batch {
             self.emit(rec);
         }
         self.advance_all(w);
         self.emitted_watermark = Some(w);
+        let obs = metrics::handles();
+        obs.emitted.add(emitted_now);
+        obs.resident.set(self.resident as i64);
+        // How far emission trails the fastest shard; the +∞ sentinel of
+        // a closing pump means lag zero, not u64::MAX.
+        let max_wm = self.shards.iter().filter_map(|s| s.watermark).max();
+        let lag = match (max_wm, w.as_micros()) {
+            (_, u64::MAX) => 0,
+            (Some(wm), emitted) => wm.as_micros().saturating_sub(emitted),
+            (None, _) => 0,
+        };
+        obs.watermark_lag_us
+            .set(i64::try_from(lag).unwrap_or(i64::MAX));
     }
 
     /// Feeds one canonical-order record to every estimator.

@@ -46,6 +46,9 @@ pub struct StreamEngine {
     core: Arc<Mutex<StreamCore>>,
     workers: Vec<JoinHandle<()>>,
     ingested: u64,
+    /// `btpan_stream_channel_occupancy{shard=…}` — in-flight records per
+    /// shard channel (how close each shard is to backpressure).
+    occupancy: Vec<btpan_obs::Gauge>,
 }
 
 impl StreamEngine {
@@ -85,6 +88,14 @@ impl StreamEngine {
             senders.push(tx);
             workers.push(handle);
         }
+        let occupancy = (0..config.shards)
+            .map(|shard| {
+                btpan_obs::Registry::global().gauge_with(
+                    "btpan_stream_channel_occupancy",
+                    &[("shard", &shard.to_string())],
+                )
+            })
+            .collect();
         StreamEngine {
             router: ShardRouter::new(config.shards),
             senders,
@@ -92,6 +103,7 @@ impl StreamEngine {
             core,
             workers,
             ingested,
+            occupancy,
         }
     }
 
@@ -107,6 +119,11 @@ impl StreamEngine {
             .send(ShardMsg::Record(Box::new(rec)))
             .map_err(|_| IngestError)?;
         self.ingested += 1;
+        // Gated: Sender::len takes the channel lock, which the disabled
+        // path must not pay.
+        if btpan_obs::Registry::global().is_enabled() {
+            self.occupancy[shard].set(self.senders[shard].len() as i64);
+        }
         Ok(())
     }
 

@@ -45,7 +45,9 @@ pub mod tail;
 pub use crate::batch::batch_reference;
 pub use crate::checkpoint::Checkpoint;
 pub use crate::coalesce::OnlineCoalescer;
-pub use crate::core::{stream_records, StreamConfig, StreamCore, StreamOutcome, DEFAULT_WINDOW};
+pub use crate::core::{
+    stream_records, StreamConfig, StreamConfigBuilder, StreamCore, StreamOutcome, DEFAULT_WINDOW,
+};
 pub use crate::engine::{IngestError, StreamEngine};
 pub use crate::estimators::{EpisodeEstimator, MatrixCell, StreamSnapshot};
 pub use crate::router::ShardRouter;

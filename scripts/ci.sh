@@ -8,5 +8,9 @@ cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --release --workspace
 cargo clippy --release --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+# Observability overhead contract: disabled-registry instrumentation
+# must stay at relaxed-atomic cost on the bench_stream hot path.
+cargo run --release -p btpan-bench --bin repro_obs_overhead
 
 echo "ci: all gates passed"

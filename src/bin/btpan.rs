@@ -9,7 +9,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -102,8 +102,28 @@ fn stream_cli_reports_batch_identical_snapshot() {
     .expect("campaign runs");
     let outcome = run_cli(&args(&["stream", path_s, "--json"])).expect("stream runs");
     assert_eq!(outcome.status, 0, "{}", outcome.output);
+    // The snapshot rides inside the uniform JSON envelope.
+    let envelope = serde_json::value_from_str(outcome.output.trim()).expect("envelope JSON parses");
+    assert_eq!(
+        envelope
+            .get("schema_version")
+            .and_then(serde::Value::as_u64),
+        Some(btpan::cli::JSON_SCHEMA_VERSION)
+    );
+    assert_eq!(
+        envelope.get("command").and_then(serde::Value::as_str),
+        Some("stream")
+    );
+    assert_eq!(
+        envelope
+            .get("health")
+            .and_then(|h| h.get("status"))
+            .and_then(serde::Value::as_str),
+        Some("ok")
+    );
     let snap: btpan::stream::StreamSnapshot =
-        serde_json::from_str(outcome.output.trim()).expect("snapshot JSON parses");
+        serde::Deserialize::from_value(envelope.get("data").expect("envelope data"))
+            .expect("snapshot decodes");
 
     let text = std::fs::read_to_string(&path).expect("trace readable");
     let records = import_trace(&text).expect("trace parses");

@@ -118,6 +118,16 @@ pub mod channel {
             self.shared.ready.notify_one();
             Ok(())
         }
+
+        /// Number of messages currently queued in the channel.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel lock").len()
+        }
+
+        /// Whether the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
