@@ -46,14 +46,33 @@ impl Decoded {
 }
 
 /// Polynomial remainder of `value` (bit-polynomial) modulo [`GENERATOR`].
-fn poly_rem(mut value: u32) -> u16 {
+const fn poly_rem(mut value: u32) -> u16 {
     // degree of generator = 5
-    for bit in (PARITY_BITS..32).rev() {
+    let mut bit = 31;
+    while bit >= PARITY_BITS {
         if value & (1 << bit) != 0 {
-            value ^= u32::from(GENERATOR) << (bit - PARITY_BITS);
+            value ^= (GENERATOR as u32) << (bit - PARITY_BITS);
         }
+        bit -= 1;
     }
     (value & 0x1F) as u16
+}
+
+/// `SINGLE_ERROR_FLIP[s]` is the one-bit error pattern whose syndrome is
+/// `s`, or 0 if no single-bit error produces `s` — turning the decoder's
+/// correction step into one table lookup instead of a 15-way syndrome
+/// search.
+static SINGLE_ERROR_FLIP: [u16; 32] = build_single_error_flips();
+
+const fn build_single_error_flips() -> [u16; 32] {
+    let mut flips = [0u16; 32];
+    let mut i = 0;
+    while i < CODE_BITS {
+        let s = poly_rem(1u32 << i);
+        flips[s as usize] = 1 << i;
+        i += 1;
+    }
+    flips
 }
 
 /// Encodes 10 data bits into a 15-bit systematic codeword
@@ -81,12 +100,9 @@ pub fn decode(word: u16) -> Decoded {
     if s == 0 {
         return Decoded::Clean(word >> PARITY_BITS);
     }
-    // Single-error syndromes: syndrome of a word with exactly bit i set.
-    for i in 0..CODE_BITS {
-        if syndrome(1 << i) == s {
-            let fixed = word ^ (1 << i);
-            return Decoded::Corrected(fixed >> PARITY_BITS);
-        }
+    let flip = SINGLE_ERROR_FLIP[s as usize];
+    if flip != 0 {
+        return Decoded::Corrected((word ^ flip) >> PARITY_BITS);
     }
     Decoded::Uncorrectable
 }
@@ -94,9 +110,18 @@ pub fn decode(word: u16) -> Decoded {
 /// Encodes a byte slice into a sequence of codewords (10 data bits per
 /// codeword, zero-padded at the end).
 pub fn encode_bytes(data: &[u8]) -> Vec<u16> {
+    let mut out = Vec::new();
+    encode_bytes_into(data, &mut out);
+    out
+}
+
+/// Encodes `data` into `out` (cleared first), reusing the caller's
+/// allocation on the hot path.
+pub fn encode_bytes_into(data: &[u8], out: &mut Vec<u16>) {
     let total_bits = data.len() * 8;
     let words = total_bits.div_ceil(DATA_BITS as usize);
-    let mut out = Vec::with_capacity(words);
+    out.clear();
+    out.reserve(words);
     for w in 0..words {
         let mut chunk: u16 = 0;
         for b in 0..DATA_BITS as usize {
@@ -109,7 +134,6 @@ pub fn encode_bytes(data: &[u8]) -> Vec<u16> {
         }
         out.push(encode(chunk));
     }
-    out
 }
 
 /// Decodes a sequence of codewords back into `len` bytes.
@@ -117,24 +141,35 @@ pub fn encode_bytes(data: &[u8]) -> Vec<u16> {
 /// Returns `None` if any codeword is uncorrectable or the codewords
 /// cannot cover `len` bytes.
 pub fn decode_bytes(words: &[u16], len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    decode_bytes_into(words, len, &mut out).then_some(out)
+}
+
+/// Decodes `words` into `out` (cleared and zero-filled to `len` bytes),
+/// writing data bits straight into the byte buffer — no intermediate
+/// bit vector. Returns `false` if any codeword is uncorrectable or the
+/// codewords cannot cover `len` bytes; `out` contents are then
+/// unspecified.
+pub fn decode_bytes_into(words: &[u16], len: usize, out: &mut Vec<u8>) -> bool {
     let needed = (len * 8).div_ceil(DATA_BITS as usize);
     if words.len() < needed {
-        return None;
+        return false;
     }
-    let mut bits = Vec::with_capacity(words.len() * DATA_BITS as usize);
+    out.clear();
+    out.resize(len, 0);
+    let mut bit_index = 0usize;
     for &w in words {
-        let data = decode(w).data()?;
+        let Some(data) = decode(w).data() else {
+            return false;
+        };
         for b in 0..DATA_BITS {
-            bits.push((data >> b) & 1 != 0);
+            if bit_index < len * 8 && (data >> b) & 1 != 0 {
+                out[bit_index / 8] |= 1 << (bit_index % 8);
+            }
+            bit_index += 1;
         }
     }
-    let mut out = vec![0u8; len];
-    for (i, bit) in bits.iter().enumerate().take(len * 8) {
-        if *bit {
-            out[i / 8] |= 1 << (i % 8);
-        }
-    }
-    Some(out)
+    true
 }
 
 /// Majority-vote decode of one 1/3-rate repetition-coded bit.

@@ -37,6 +37,21 @@ impl HopSequence {
         x ^= x >> 31;
         (x % u64::from(CHANNELS)) as u8
     }
+
+    /// Batch variant: fills `out[i]` with the channel of
+    /// `start_slot + i`. Lets slot-fidelity loops hoist the per-slot
+    /// call (and gives the optimizer a straight-line body to vectorize).
+    pub fn fill_channels(&self, start_slot: u64, out: &mut [u8]) {
+        let key = self.key.rotate_left(23);
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut x = (start_slot + i as u64) ^ key;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            *o = (x % u64::from(CHANNELS)) as u8;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +89,18 @@ mod tests {
         for (ch, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
             assert!(dev < 0.15, "channel {ch} count {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn fill_channels_matches_per_slot_calls() {
+        let h = HopSequence::new(0xFEED_BEEF);
+        let mut buf = [0u8; 257];
+        for start in [0u64, 1, 624, 625, u64::MAX - 300] {
+            h.fill_channels(start, &mut buf);
+            for (i, &ch) in buf.iter().enumerate() {
+                assert_eq!(ch, h.channel(start + i as u64), "start {start} i {i}");
+            }
         }
     }
 

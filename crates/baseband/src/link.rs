@@ -167,6 +167,9 @@ impl TransferOutcome {
     }
 }
 
+/// Longest ACL packet in slots (DM5/DH5).
+const MAX_PACKET_SLOTS: usize = 5;
+
 /// An ACL link between a master and one slave.
 #[derive(Debug)]
 pub struct AclLink<C> {
@@ -174,6 +177,11 @@ pub struct AclLink<C> {
     channel: C,
     hop: HopSequence,
     slot_cursor: u64,
+    /// Scratch buffers reused across [`Self::transmit_bytes_once`] calls
+    /// so the real-codec path allocates nothing in steady state.
+    scratch_body: Vec<u8>,
+    scratch_words: Vec<u16>,
+    scratch_decoded: Vec<u8>,
 }
 
 impl<C: ChannelModel> AclLink<C> {
@@ -185,6 +193,9 @@ impl<C: ChannelModel> AclLink<C> {
             channel,
             hop,
             slot_cursor: 0,
+            scratch_body: Vec::new(),
+            scratch_words: Vec::new(),
+            scratch_decoded: Vec::new(),
         }
     }
 
@@ -203,8 +214,21 @@ impl<C: ChannelModel> AclLink<C> {
         self.slot_cursor
     }
 
-    /// Advances the channel through `n` idle slots (no transmission).
+    /// Advances the channel through `n` idle slots (no transmission) in
+    /// O(dwell transitions) per span via
+    /// [`ChannelModel::advance_idle`] — the "do no work for quiet time"
+    /// fast path. Exactly bit-identical to [`Self::idle_slots_reference`]
+    /// for channels whose idle evolution consumes no randomness or
+    /// draws only at dwell boundaries; distribution-exact for
+    /// burst-state channels (see the trait docs).
     pub fn idle_slots(&mut self, n: u64, rng: &mut SimRng) {
+        self.channel.advance_idle(self.slot_cursor, n, rng);
+        self.slot_cursor += n;
+    }
+
+    /// The original slot-by-slot idle walk, retained as the reference
+    /// implementation for equivalence tests and `repro_bench`.
+    pub fn idle_slots_reference(&mut self, n: u64, rng: &mut SimRng) {
         for _ in 0..n {
             let ch = self.hop.channel(self.slot_cursor);
             let _ = self.channel.slot_ber(self.slot_cursor, ch, rng);
@@ -219,14 +243,18 @@ impl<C: ChannelModel> AclLink<C> {
         let n_slots = pt.slots();
 
         // Gather per-slot BERs over the packet's slots (same RF channel —
-        // multi-slot packets do not re-hop).
-        let mut slot_bers = Vec::with_capacity(n_slots as usize);
+        // multi-slot packets do not re-hop). Longest packet is 5 slots,
+        // so a stack array replaces the per-attempt heap allocation; the
+        // RNG draw order is unchanged.
+        debug_assert!(n_slots as usize <= MAX_PACKET_SLOTS);
+        let mut slot_bers = [0.0f64; MAX_PACKET_SLOTS];
+        let slot_bers = &mut slot_bers[..n_slots as usize];
         let mut saw_bad_state = false;
-        for i in 0..n_slots {
+        for (i, ber) in slot_bers.iter_mut().enumerate() {
             if self.channel.state() == ChannelState::Bad {
                 saw_bad_state = true;
             }
-            slot_bers.push(self.channel.slot_ber(self.slot_cursor + i, ch, rng));
+            *ber = self.channel.slot_ber(self.slot_cursor + i as u64, ch, rng);
         }
 
         // Header: first slot, repetition-coded, 18 bits.
@@ -237,7 +265,7 @@ impl<C: ChannelModel> AclLink<C> {
         let payload_bits = pt.payload_bits_on_air();
         let bits_per_slot = payload_bits as f64 / n_slots as f64;
         let mut p_payload_ok = 1.0;
-        for &ber in &slot_bers {
+        for &ber in slot_bers.iter() {
             if pt.fec_coded() {
                 let codewords = bits_per_slot / fec::CODE_BITS as f64;
                 p_payload_ok *= fec::hamming_block_success_probability(ber).powf(codewords);
@@ -351,37 +379,42 @@ impl<C: ChannelModel> AclLink<C> {
             "payload exceeds packet capacity"
         );
         let ch = self.hop.channel(self.slot_cursor);
-        let body = crc::append_crc(payload);
+        crc::append_crc_into(payload, &mut self.scratch_body);
         let n_slots = pt.slots();
-        let mut bers = Vec::with_capacity(n_slots as usize);
-        for i in 0..n_slots {
-            bers.push(self.channel.slot_ber(self.slot_cursor + i, ch, rng));
+        debug_assert!(n_slots as usize <= MAX_PACKET_SLOTS);
+        let mut bers = [0.0f64; MAX_PACKET_SLOTS];
+        for (i, ber) in bers[..n_slots as usize].iter_mut().enumerate() {
+            *ber = self.channel.slot_ber(self.slot_cursor + i as u64, ch, rng);
         }
         self.slot_cursor += n_slots + 1;
-        let ber_avg = bers.iter().sum::<f64>() / bers.len() as f64;
+        let ber_avg = bers[..n_slots as usize].iter().sum::<f64>() / n_slots as f64;
 
-        let received = if pt.fec_coded() {
-            let mut words = fec::encode_bytes(&body);
-            for w in words.iter_mut() {
+        let received: &[u8] = if pt.fec_coded() {
+            fec::encode_bytes_into(&self.scratch_body, &mut self.scratch_words);
+            for w in self.scratch_words.iter_mut() {
                 for bit in 0..fec::CODE_BITS {
                     if rng.chance(ber_avg) {
                         *w ^= 1 << bit;
                     }
                 }
             }
-            fec::decode_bytes(&words, body.len())?
+            let body_len = self.scratch_body.len();
+            if !fec::decode_bytes_into(&self.scratch_words, body_len, &mut self.scratch_decoded) {
+                return None;
+            }
+            &self.scratch_decoded
         } else {
-            let mut bytes = body.clone();
-            for byte in bytes.iter_mut() {
+            // Corrupt the scratch body in place — no working copy needed.
+            for byte in self.scratch_body.iter_mut() {
                 for bit in 0..8 {
                     if rng.chance(ber_avg) {
                         *byte ^= 1 << bit;
                     }
                 }
             }
-            bytes
+            &self.scratch_body
         };
-        crc::check_crc(&received).map(<[u8]>::to_vec)
+        crc::check_crc(received).map(<[u8]>::to_vec)
     }
 }
 
@@ -695,5 +728,91 @@ mod tests {
         let mut link = quiet_link(PacketType::Dh1);
         link.idle_slots(10, &mut rng());
         assert_eq!(link.slot_cursor(), 10);
+    }
+
+    #[test]
+    fn fast_idle_bit_identical_to_reference_for_rng_free_channel() {
+        // Memoryless channels draw nothing while idle, so the skip is
+        // exactly the reference walk: same cursor, same RNG state, and
+        // therefore identical subsequent transfers.
+        let mut fast = AclLink::new(
+            LinkConfig::new(PacketType::Dh3),
+            MemorylessChannel::new(1e-3),
+            HopSequence::new(77),
+        );
+        let mut slow = AclLink::new(
+            LinkConfig::new(PacketType::Dh3),
+            MemorylessChannel::new(1e-3),
+            HopSequence::new(77),
+        );
+        let mut rf = rng();
+        let mut rs = rng();
+        for span in [1u64, 999, 1_000_000] {
+            fast.idle_slots(span, &mut rf);
+            slow.idle_slots_reference(span, &mut rs);
+            assert_eq!(fast.slot_cursor(), slow.slot_cursor());
+            let a = fast.send_payloads(20, &mut rf);
+            let b = slow.send_payloads(20, &mut rs);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fast_idle_bit_identical_to_reference_for_interferer() {
+        use crate::channel::Interferer;
+        let mk = || {
+            AclLink::new(
+                LinkConfig::new(PacketType::Dh1),
+                Interferer::wifi(39),
+                HopSequence::new(0xBEEF),
+            )
+        };
+        let mut fast = mk();
+        let mut slow = mk();
+        let mut rf = rng();
+        let mut rs = rng();
+        for span in [3u64, 50_000, 1_000_000] {
+            fast.idle_slots(span, &mut rf);
+            slow.idle_slots_reference(span, &mut rs);
+            let a = fast.send_payloads(50, &mut rf);
+            let b = slow.send_payloads(50, &mut rs);
+            assert_eq!(a, b, "diverged after idle span {span}");
+        }
+    }
+
+    #[test]
+    fn fast_idle_with_burst_channel_keeps_transfer_statistics() {
+        // GE idle skipping is distribution-exact, not stream-identical:
+        // aggregate drop behavior over many idle/transfer rounds must
+        // match the reference walk within sampling noise.
+        let run = |fast: bool| {
+            let mut link = AclLink::new(
+                LinkConfig::new(PacketType::Dh1).retry_limit(2),
+                GilbertElliott::new(2e-3, 0.02, 1e-6, 0.2),
+                HopSequence::new(9),
+            );
+            let mut r = rng();
+            let mut delivered = 0u64;
+            let mut attempts = 0u64;
+            for _ in 0..400 {
+                if fast {
+                    link.idle_slots(5_000, &mut r);
+                } else {
+                    link.idle_slots_reference(5_000, &mut r);
+                }
+                let out = link.send_payloads(40, &mut r);
+                delivered += out.payloads_delivered;
+                attempts += out.attempts;
+            }
+            (delivered, attempts)
+        };
+        let (df, af) = run(true);
+        let (ds, as_) = run(false);
+        let rate_f = df as f64 / af as f64;
+        let rate_s = ds as f64 / as_ as f64;
+        assert!(
+            (rate_f - rate_s).abs() < 0.02,
+            "delivery-per-attempt diverged: fast {rate_f} vs reference {rate_s}"
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests over the baseband codecs and piconet.
 
-use btpan_baseband::crc::{append_crc, check_crc};
-use btpan_baseband::fec::{decode, encode, Decoded};
+use btpan_baseband::crc::{append_crc, check_crc, crc16_bitwise_with, crc16_with};
+use btpan_baseband::fec::{
+    decode, decode_bytes, decode_bytes_into, encode, encode_bytes, encode_bytes_into, Decoded,
+};
 use btpan_baseband::piconet::{Piconet, MAX_ACTIVE_SLAVES};
 use proptest::prelude::*;
 
@@ -10,6 +12,40 @@ proptest! {
     fn crc_round_trips(payload in prop::collection::vec(any::<u8>(), 0..256)) {
         let body = append_crc(&payload);
         prop_assert_eq!(check_crc(&body), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn crc_table_equals_bitwise_reference(payload in prop::collection::vec(any::<u8>(), 0..512),
+                                          init in any::<u16>()) {
+        // The 256-entry table implementation must agree with the
+        // original shift-register loop on arbitrary payloads from
+        // arbitrary register states.
+        prop_assert_eq!(crc16_with(init, &payload), crc16_bitwise_with(init, &payload));
+    }
+
+    #[test]
+    fn fec_into_variants_equal_allocating_ones(payload in prop::collection::vec(any::<u8>(), 0..64),
+                                               flips in prop::collection::vec((any::<u16>(), 0u32..15), 0..8)) {
+        let words = encode_bytes(&payload);
+        let mut words_into = Vec::new();
+        encode_bytes_into(&payload, &mut words_into);
+        prop_assert_eq!(&words, &words_into);
+
+        // Corrupt a few codewords and compare decode paths too.
+        let mut corrupted = words;
+        for &(idx, bit) in &flips {
+            if !corrupted.is_empty() {
+                let idx = idx as usize % corrupted.len();
+                corrupted[idx] ^= 1 << bit;
+            }
+        }
+        let via_alloc = decode_bytes(&corrupted, payload.len());
+        let mut buf = vec![0xAAu8; 3];
+        let ok = decode_bytes_into(&corrupted, payload.len(), &mut buf);
+        prop_assert_eq!(via_alloc.is_some(), ok);
+        if let Some(decoded) = via_alloc {
+            prop_assert_eq!(decoded, buf);
+        }
     }
 
     #[test]

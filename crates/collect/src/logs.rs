@@ -66,11 +66,22 @@ impl TestLog {
 
     /// Converts to merged records, numbering with the given offset.
     pub fn to_records(&self, seq_offset: u64) -> Vec<LogRecord> {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| LogRecord::from_test(seq_offset + i as u64, e.clone()))
-            .collect()
+        let mut out = Vec::new();
+        self.to_records_into(seq_offset, &mut out);
+        out
+    }
+
+    /// Appends this log's records to `out` (pre-reserving), so a merger
+    /// draining several logs fills one vector instead of collecting and
+    /// re-copying per log.
+    pub fn to_records_into(&self, seq_offset: u64, out: &mut Vec<LogRecord>) {
+        out.reserve(self.entries.len());
+        out.extend(
+            self.entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| LogRecord::from_test(seq_offset + i as u64, e.clone())),
+        );
     }
 }
 
@@ -132,11 +143,22 @@ impl SystemLog {
 
     /// Converts to merged records, numbering with the given offset.
     pub fn to_records(&self, seq_offset: u64) -> Vec<LogRecord> {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| LogRecord::from_system(seq_offset + i as u64, e.clone()))
-            .collect()
+        let mut out = Vec::new();
+        self.to_records_into(seq_offset, &mut out);
+        out
+    }
+
+    /// Appends this log's records to `out` (pre-reserving), so a merger
+    /// draining several logs fills one vector instead of collecting and
+    /// re-copying per log.
+    pub fn to_records_into(&self, seq_offset: u64, out: &mut Vec<LogRecord>) {
+        out.reserve(self.entries.len());
+        out.extend(
+            self.entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| LogRecord::from_system(seq_offset + i as u64, e.clone())),
+        );
     }
 }
 
@@ -201,6 +223,26 @@ mod tests {
         let records = log.to_records(100);
         assert_eq!(records[0].seq, 100);
         assert!(records[0].as_system().is_some());
+    }
+
+    #[test]
+    fn to_records_into_appends_after_existing() {
+        let mut test_log = TestLog::new(1);
+        test_log.append(test_entry(1, 10));
+        let mut sys_log = SystemLog::new(1);
+        sys_log.append(SystemLogEntry::new(
+            SimTime::from_secs(5),
+            1,
+            SystemFault::HotplugTimeout,
+        ));
+        let mut merged = Vec::new();
+        test_log.to_records_into(0, &mut merged);
+        sys_log.to_records_into(1, &mut merged);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].seq, 0);
+        assert_eq!(merged[1].seq, 1);
+        assert!(merged[0].as_failure().is_some());
+        assert!(merged[1].as_system().is_some());
     }
 
     #[test]

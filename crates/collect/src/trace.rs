@@ -77,11 +77,19 @@ impl std::error::Error for TraceError {
 /// rather than synthetic ones.
 pub fn export_trace(repo: &Repository) -> String {
     let mut out = String::new();
+    export_trace_into(repo, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`export_trace`]: clears `out` and writes
+/// the trace into it, so periodic exporters (checkpointing, streaming
+/// relays) keep one buffer alive instead of reallocating per export.
+pub fn export_trace_into(repo: &Repository, out: &mut String) {
+    out.clear();
     for r in repo.records() {
         out.push_str(&serde_json::to_string(&r).expect("records serialize"));
         out.push('\n');
     }
-    out
 }
 
 /// Parses a JSONL trace back into records, all-or-nothing.
@@ -91,7 +99,7 @@ pub fn export_trace(repo: &Repository) -> String {
 /// [`TraceError::TruncatedLine`] if a line ends mid-record, otherwise
 /// [`TraceError::Malformed`]; both name the first bad line.
 pub fn import_trace(trace: &str) -> Result<Vec<LogRecord>, TraceError> {
-    let mut records = Vec::new();
+    let mut records = Vec::with_capacity(count_lines(trace));
     for (i, line) in trace.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -154,7 +162,7 @@ impl fmt::Display for QuarantineReport {
 /// instead of failing, and re-sorting the survivors into canonical
 /// `(timestamp, seq)` order.
 pub fn import_trace_lenient(trace: &str) -> (Vec<LogRecord>, QuarantineReport) {
-    let mut records = Vec::new();
+    let mut records = Vec::with_capacity(count_lines(trace));
     let mut report = QuarantineReport::default();
     for (i, line) in trace.lines().enumerate() {
         if line.trim().is_empty() {
@@ -178,6 +186,19 @@ pub fn import_trace_lenient(trace: &str) -> (Vec<LogRecord>, QuarantineReport) {
     }
     records.sort();
     (records, report)
+}
+
+/// Upper bound on the record count of a trace (one record per line),
+/// used to pre-size import vectors and avoid growth reallocations on
+/// multi-hundred-thousand-line traces.
+fn count_lines(trace: &str) -> usize {
+    let newlines = trace.bytes().filter(|&b| b == b'\n').count();
+    // A final unterminated line still holds a record.
+    if trace.ends_with('\n') || trace.is_empty() {
+        newlines
+    } else {
+        newlines + 1
+    }
 }
 
 /// Rebuilds a repository from imported records.
@@ -248,6 +269,17 @@ mod tests {
         let trace = export_trace(&repo);
         let rebuilt = repository_from_records(&import_trace(&trace).unwrap());
         assert_eq!(export_trace(&rebuilt), trace);
+    }
+
+    #[test]
+    fn export_trace_into_reuses_and_clears_buffer() {
+        let repo = sample_repo();
+        let mut buf = String::from("stale content from a previous export");
+        export_trace_into(&repo, &mut buf);
+        assert_eq!(buf, export_trace(&repo));
+        let cap = buf.capacity();
+        export_trace_into(&repo, &mut buf);
+        assert_eq!(buf.capacity(), cap, "re-export must not reallocate");
     }
 
     #[test]

@@ -46,6 +46,8 @@ use btpan_sim::prelude::*;
 use btpan_sim::time::{SimDuration, SimTime};
 use btpan_stack::socket::BindError;
 use btpan_workload::{CycleParams, RandomWorkload, RealisticWorkload, WorkloadKind, WorkloadModel};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 mod metrics {
     use btpan_obs::{Counter, Registry};
@@ -93,7 +95,31 @@ impl LossModel {
     /// Calibrates the relative type factors by slot-fidelity simulation
     /// under a burst-boosted Gilbert–Elliott channel, then normalizes to
     /// the field-calibrated `base_drop`.
+    ///
+    /// Memoized process-wide: calibration only *forks* from `rng` (it
+    /// never draws, so `rng`'s own stream is untouched either way),
+    /// which makes the result a pure function of the fork-lineage seed
+    /// and `base_drop`. Every Table-4 policy column and every
+    /// supervisor retry re-calibrates with the same key, and each
+    /// uncached run simulates 720 000 payloads at slot fidelity.
     pub fn calibrate(base_drop: f64, rng: &mut SimRng) -> Self {
+        static CACHE: OnceLock<Mutex<HashMap<(u64, u64), LossModel>>> = OnceLock::new();
+        let key = (rng.seed(), base_drop.to_bits());
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("calibration cache").get(&key) {
+            return hit.clone();
+        }
+        let model = Self::calibrate_uncached(base_drop, rng);
+        cache
+            .lock()
+            .expect("calibration cache")
+            .insert(key, model.clone());
+        model
+    }
+
+    /// The calibration itself, bypassing the memo (for benchmarks and
+    /// for callers that mutate channel constants between runs).
+    pub fn calibrate_uncached(base_drop: f64, rng: &mut SimRng) -> Self {
         let mut raw = [0.0f64; 6];
         for (i, pt) in PacketType::ALL.iter().enumerate() {
             // Deep-fade bursts (BER ~0.12): severe enough that FEC
@@ -361,9 +387,13 @@ impl CampaignResult {
 }
 
 /// The campaign driver.
+///
+/// The config is held behind an [`Arc`], so multi-seed drivers that
+/// hand the same configuration to a worker pool (or retry a seed)
+/// share one allocation instead of deep-cloning the config per run.
 #[derive(Debug)]
 pub struct Campaign {
-    config: CampaignConfig,
+    config: Arc<CampaignConfig>,
 }
 
 /// Mutable per-node simulation state.
@@ -404,14 +434,22 @@ enum PhaseOutcome {
 }
 
 impl Campaign {
-    /// Creates a campaign.
-    pub fn new(config: CampaignConfig) -> Self {
-        Campaign { config }
+    /// Creates a campaign. Accepts a plain config or an already-shared
+    /// `Arc<CampaignConfig>`.
+    pub fn new(config: impl Into<Arc<CampaignConfig>>) -> Self {
+        Campaign {
+            config: config.into(),
+        }
+    }
+
+    /// The configuration this campaign runs.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
     }
 
     /// Runs the campaign to completion.
     pub fn run(&self) -> CampaignResult {
-        let cfg = &self.config;
+        let cfg: &CampaignConfig = &self.config;
         let root = SimRng::seed_from(cfg.seed);
         let injector = FaultInjector::new(cfg.injection);
         let mut calib_rng = root.fork("loss-model");
@@ -420,13 +458,14 @@ impl Campaign {
         let mut nap_log = SystemLog::new(NAP_NODE_ID);
         let repository = Repository::new();
 
-        let mut timelines = Vec::new();
+        let n_panus = testbed.panus.len();
+        let mut timelines = Vec::with_capacity(n_panus);
         let mut masked_count = 0;
         let mut covered_count = 0;
         let mut failure_count = 0;
         let mut clean_idles_s = Vec::new();
         let mut cycles_run = 0;
-        let mut system_logs = Vec::new();
+        let mut system_logs = Vec::with_capacity(n_panus + 1);
         let mut recoveries = Vec::new();
 
         for panu in &testbed.panus {
@@ -1070,6 +1109,21 @@ mod tests {
             // NodeTimeline::new validated ordering; check uptime split.
             assert_eq!(tl.uptime() + tl.downtime(), tl.span());
         }
+    }
+
+    #[test]
+    fn calibration_memo_matches_uncached() {
+        let mut a = SimRng::seed_from(1234).fork("loss-model");
+        let mut b = SimRng::seed_from(1234).fork("loss-model");
+        let uncached = LossModel::calibrate_uncached(2e-6, &mut a);
+        let first = LossModel::calibrate(2e-6, &mut b);
+        let second = LossModel::calibrate(2e-6, &mut b); // memo hit
+        assert_eq!(first, uncached);
+        assert_eq!(second, uncached);
+        // A different base_drop is a different key, not a stale hit.
+        let other = LossModel::calibrate(3e-6, &mut b);
+        assert_eq!(other.base_drop, 3e-6);
+        assert_eq!(other.type_factor, uncached.type_factor);
     }
 
     #[test]

@@ -541,9 +541,15 @@ fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
             continue;
         }
         idle_polls = 0;
-        for line in framer.push(&chunk) {
-            process(&mut engine, &mut out, &line)?;
-        }
+        // Borrow completed lines straight out of the chunk; only a line
+        // split across reads touches the framer's internal buffer.
+        let mut line_err: Result<(), CliError> = Ok(());
+        framer.push_lines(&chunk, |line| {
+            if line_err.is_ok() {
+                line_err = process(&mut engine, &mut out, line);
+            }
+        });
+        line_err?;
     }
     if let Some(last) = framer.finish() {
         process(&mut engine, &mut out, &last)?;

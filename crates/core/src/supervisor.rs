@@ -110,6 +110,12 @@ pub struct SupervisorConfig {
     /// Campaign-level seed; the only entropy source for retry jitter,
     /// so a rerun with the same seeds backs off identically.
     pub campaign_seed: u64,
+    /// Worker-pool size. `None` (the default) sizes the pool to the
+    /// machine's available parallelism capped at the seed count; an
+    /// explicit value is used as-is (clamped to at least 1), so a
+    /// single-worker pool for deterministic scheduling studies or an
+    /// oversubscribed pool for timeout tests are both expressible.
+    pub workers: Option<usize>,
 }
 
 impl Default for SupervisorConfig {
@@ -119,6 +125,7 @@ impl Default for SupervisorConfig {
             seed_timeout: None,
             backoff_base: Duration::from_millis(25),
             campaign_seed: 0,
+            workers: None,
         }
     }
 }
@@ -199,6 +206,12 @@ impl SupervisorConfigBuilder {
         self
     }
 
+    /// Explicit worker-pool size (not capped at the seed count).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = Some(workers);
+        self
+    }
+
     /// Validates and returns the config, failing at construction time.
     pub fn build(self) -> Result<SupervisorConfig, ConfigError> {
         if self.config.backoff_base.is_zero() {
@@ -214,6 +227,12 @@ impl SupervisorConfigBuilder {
                     "must be positive; a zero budget discards every seed",
                 ));
             }
+        }
+        if self.config.workers == Some(0) {
+            return Err(ConfigError::new(
+                "workers",
+                "must be at least 1; a zero-worker pool never drains the queue",
+            ));
         }
         Ok(self.config)
     }
@@ -335,9 +354,14 @@ where
         };
     }
 
-    let workers = thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(n);
+    let workers = match config.workers {
+        // Explicit sizes are honoured as-is (a pool larger than the
+        // seed count just idles the surplus workers).
+        Some(w) => w.max(1),
+        None => thread::available_parallelism()
+            .map_or(4, |p| p.get())
+            .min(n),
+    };
     let (job_tx, job_rx) = channel::unbounded::<Job>();
     let (event_tx, event_rx) = channel::unbounded::<Event<T>>();
 
@@ -616,6 +640,80 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err.field, "seed_timeout");
+    }
+
+    #[test]
+    fn single_worker_pool_runs_everything() {
+        let order = std::sync::Mutex::new(Vec::new());
+        let config = SupervisorConfig {
+            workers: Some(1),
+            ..cfg()
+        };
+        let out = run_supervised(&[3, 1, 4, 1, 5], &config, |s| {
+            order.lock().unwrap().push(s);
+            s * 10
+        });
+        assert_eq!(
+            out.results,
+            vec![Some(30), Some(10), Some(40), Some(10), Some(50)]
+        );
+        // One worker drains the queue strictly in submission order.
+        assert_eq!(*order.lock().unwrap(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(out.attempts, 5);
+    }
+
+    #[test]
+    fn more_workers_than_seeds_is_fine() {
+        let config = SupervisorConfig {
+            workers: Some(16),
+            ..cfg()
+        };
+        let out = run_supervised(&[1, 2], &config, |s| s + 1);
+        assert_eq!(out.results, vec![Some(2), Some(3)]);
+        assert!(out.verdicts.iter().all(SeedVerdict::completed));
+        assert_eq!(out.coverage(), 1.0);
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_fast() {
+        let tries = AtomicU32::new(0);
+        let config = SupervisorConfig {
+            max_retries: 0,
+            workers: Some(1),
+            ..cfg()
+        };
+        let out = run_supervised(&[9], &config, |_| -> u64 {
+            tries.fetch_add(1, Ordering::SeqCst);
+            panic!("no second chances")
+        });
+        // Exactly one attempt: a zero budget must not sneak in a retry.
+        assert_eq!(tries.load(Ordering::SeqCst), 1);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.results, vec![None]);
+        assert!(matches!(out.verdicts[0], SeedVerdict::Panicked(_)));
+    }
+
+    #[test]
+    fn coverage_accounts_only_contributing_seeds() {
+        let config = SupervisorConfig {
+            workers: Some(2),
+            ..cfg()
+        };
+        let out = run_supervised(&[1, 2, 3, 4], &config, |s| {
+            assert!(s % 2 == 1, "even seeds fail");
+            s
+        });
+        assert!((out.coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(out.completed().count(), 2);
+        assert_eq!(out.into_results(), vec![1, 3]);
+    }
+
+    #[test]
+    fn builder_rejects_zero_workers() {
+        let err = SupervisorConfig::builder().workers(0).build().unwrap_err();
+        assert_eq!(err.field, "workers");
+        let ok = SupervisorConfig::builder().workers(3).build().unwrap();
+        assert_eq!(ok.workers, Some(3));
     }
 
     #[test]

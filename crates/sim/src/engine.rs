@@ -5,6 +5,17 @@
 //! event queue. Two events scheduled for the same instant fire in the
 //! order they were scheduled (FIFO tie-break via a monotone sequence
 //! number), which keeps multi-node campaigns deterministic.
+//!
+//! Two queue implementations share those semantics exactly:
+//!
+//! * an **indexed event wheel** (the default) — a ring of slot-granular
+//!   buckets with an occupancy bitmap, so `run_until` jumps straight to
+//!   the next scheduled event in O(1) amortized per event regardless of
+//!   how much quiet time separates events; far-future events park in an
+//!   overflow heap and migrate into the ring lap by lap;
+//! * the original **binary heap**, retained as the reference
+//!   implementation ([`QueueStrategy::BinaryHeap`]) that equivalence
+//!   tests and `repro_bench` compare the wheel against.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
@@ -72,21 +83,284 @@ impl<E> Ord for Pending<E> {
     }
 }
 
+/// Which pending-event queue implementation an [`Engine`] uses.
+///
+/// Both honor identical ordering semantics — earliest `at` first, FIFO
+/// among ties — so simulations are bit-identical across strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueStrategy {
+    /// Indexed event wheel: O(1) amortized push/pop for near-future
+    /// events, overflow heap for far-future ones. The default.
+    #[default]
+    Wheel,
+    /// Plain binary heap: O(log n) push/pop. Retained as the reference
+    /// implementation for equivalence testing and benchmarking.
+    BinaryHeap,
+}
+
+/// Number of ring buckets in the event wheel. With one bucket per
+/// 625 µs baseband slot this gives a 2.56 s in-ring horizon; events
+/// further out wait in the overflow heap and migrate in lap by lap.
+const WHEEL_BUCKETS: usize = 4096;
+/// Bucket granularity: one Bluetooth slot.
+const BUCKET_MICROS: u64 = 625;
+
+/// Indexed event wheel: a ring of slot-granular buckets plus an
+/// occupancy bitmap for O(words) next-event scans and an overflow heap
+/// for events beyond the ring horizon.
+///
+/// Invariant: every event stored in the ring falls in absolute-bucket
+/// range `[cursor, cursor + WHEEL_BUCKETS)`, so ring order scanned from
+/// `cursor` is absolute time order. Events inside one bucket are
+/// resolved by a linear min-scan over `(at, seq)`; bucket populations
+/// are tiny at slot granularity, so the scan is effectively O(1).
+#[derive(Debug)]
+struct EventWheel<E> {
+    buckets: Vec<Vec<Pending<E>>>,
+    occupancy: [u64; WHEEL_BUCKETS / 64],
+    /// Absolute index of the earliest bucket that may hold events.
+    cursor: u64,
+    overflow: BinaryHeap<Pending<E>>,
+    in_ring: usize,
+}
+
+impl<E> EventWheel<E> {
+    fn new() -> Self {
+        EventWheel {
+            buckets: Vec::new(),
+            occupancy: [0; WHEEL_BUCKETS / 64],
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            in_ring: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.in_ring + self.overflow.len()
+    }
+
+    fn bucket_of(at: SimTime) -> u64 {
+        at.as_micros() / BUCKET_MICROS
+    }
+
+    fn insert_in_ring(&mut self, abs_bucket: u64, pending: Pending<E>) {
+        if self.buckets.is_empty() {
+            // Lazily allocate the ring so idle engines stay cheap.
+            self.buckets = (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect();
+        }
+        let ring = (abs_bucket % WHEEL_BUCKETS as u64) as usize;
+        self.buckets[ring].push(pending);
+        self.occupancy[ring / 64] |= 1 << (ring % 64);
+        self.in_ring += 1;
+    }
+
+    fn push(&mut self, pending: Pending<E>) {
+        let abs_bucket = Self::bucket_of(pending.at);
+        if self.in_ring == 0 && self.overflow.is_empty() {
+            // Empty wheel: re-anchor the lap at the new event so sparse
+            // event sequences never touch the overflow heap.
+            self.cursor = self.cursor.max(abs_bucket);
+        }
+        if abs_bucket < self.cursor {
+            // Rare: the lap was re-anchored at a far-future event and a
+            // nearer event arrived behind it. Spill the ring into the
+            // overflow heap; the next pop re-anchors at the true
+            // minimum. Keeps the invariant that whenever the ring is
+            // non-empty, every overflow event sorts after every ring
+            // event.
+            self.spill_ring_to_overflow();
+            self.overflow.push(pending);
+        } else if abs_bucket < self.cursor + WHEEL_BUCKETS as u64
+            && self.sorts_before_overflow(&pending)
+        {
+            self.insert_in_ring(abs_bucket, pending);
+        } else {
+            self.overflow.push(pending);
+        }
+    }
+
+    /// True when `pending` sorts before everything in the overflow heap.
+    ///
+    /// Guards the ring-insert path: as pops advance `cursor` within a
+    /// lap, the ring horizon `cursor + WHEEL_BUCKETS` slides past
+    /// overflow events that were beyond it at *their* push time. A new
+    /// event landing between the overflow head and the moved horizon
+    /// must join the overflow heap, or it would pop before the earlier
+    /// overflow event.
+    fn sorts_before_overflow(&self, pending: &Pending<E>) -> bool {
+        self.overflow
+            .peek()
+            .is_none_or(|head| (pending.at, pending.seq) < (head.at, head.seq))
+    }
+
+    fn spill_ring_to_overflow(&mut self) {
+        if self.in_ring == 0 {
+            return;
+        }
+        let overflow = &mut self.overflow;
+        for bucket in &mut self.buckets {
+            for pending in bucket.drain(..) {
+                overflow.push(pending);
+            }
+        }
+        self.occupancy = [0; WHEEL_BUCKETS / 64];
+        self.in_ring = 0;
+    }
+
+    /// Moves overflow events that now fit in the ring. Only valid when
+    /// the ring is empty (the lap is re-anchored at the overflow head).
+    fn refill_from_overflow(&mut self) {
+        debug_assert_eq!(self.in_ring, 0);
+        let Some(head) = self.overflow.peek() else {
+            return;
+        };
+        self.cursor = Self::bucket_of(head.at);
+        let horizon = self.cursor + WHEEL_BUCKETS as u64;
+        while let Some(head) = self.overflow.peek() {
+            let abs_bucket = Self::bucket_of(head.at);
+            if abs_bucket >= horizon {
+                break;
+            }
+            let pending = self.overflow.pop().expect("peeked");
+            self.insert_in_ring(abs_bucket, pending);
+        }
+    }
+
+    /// Locates the earliest pending event: `(ring_index, item_index)`.
+    /// Advances `cursor` past empty buckets as a side effect.
+    fn find_min(&mut self) -> Option<(usize, usize)> {
+        if self.in_ring == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.refill_from_overflow();
+        }
+        // Scan the occupancy bitmap from the cursor's ring position; all
+        // occupied buckets lie within one lap, so ring order from the
+        // cursor is absolute order.
+        let start = (self.cursor % WHEEL_BUCKETS as u64) as usize;
+        let words = self.occupancy.len();
+        let mut ring = None;
+        for step in 0..=words {
+            let w = (start / 64 + step) % words;
+            let mut bits = self.occupancy[w];
+            if step == 0 {
+                bits &= !0u64 << (start % 64);
+            } else if step == words {
+                // Wrapped fully: only bits below the start position.
+                bits &= !(!0u64 << (start % 64));
+            }
+            if bits != 0 {
+                ring = Some(w * 64 + bits.trailing_zeros() as usize);
+                break;
+            }
+        }
+        let ring = ring.expect("in_ring > 0 but occupancy empty");
+        // Advance the cursor to the found bucket (same lap).
+        let offset = (ring + WHEEL_BUCKETS - start) % WHEEL_BUCKETS;
+        self.cursor += offset as u64;
+        let bucket = &self.buckets[ring];
+        debug_assert!(!bucket.is_empty());
+        let mut min_idx = 0;
+        for (i, p) in bucket.iter().enumerate().skip(1) {
+            let best = &bucket[min_idx];
+            if (p.at, p.seq) < (best.at, best.seq) {
+                min_idx = i;
+            }
+        }
+        Some((ring, min_idx))
+    }
+
+    fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<Pending<E>> {
+        let (ring, idx) = self.find_min()?;
+        if self.buckets[ring][idx].at > deadline {
+            return None;
+        }
+        let pending = self.buckets[ring].swap_remove(idx);
+        self.in_ring -= 1;
+        if self.buckets[ring].is_empty() {
+            self.occupancy[ring / 64] &= !(1 << (ring % 64));
+        }
+        Some(pending)
+    }
+
+    /// Lets the wheel skip its cursor ahead after a quiet `run_until`
+    /// so later pushes land in the ring instead of the overflow heap.
+    fn advance_to(&mut self, now: SimTime) {
+        if self.in_ring == 0 && self.overflow.is_empty() {
+            self.cursor = self.cursor.max(Self::bucket_of(now));
+        }
+    }
+}
+
+/// The pending-event queue behind a [`Scheduler`], in the flavor picked
+/// by [`QueueStrategy`].
+#[derive(Debug)]
+enum EventQueue<E> {
+    Wheel(Box<EventWheel<E>>),
+    Heap(BinaryHeap<Pending<E>>),
+}
+
+impl<E> EventQueue<E> {
+    fn new(strategy: QueueStrategy) -> Self {
+        match strategy {
+            QueueStrategy::Wheel => EventQueue::Wheel(Box::new(EventWheel::new())),
+            QueueStrategy::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, pending: Pending<E>) {
+        match self {
+            EventQueue::Wheel(w) => w.push(pending),
+            EventQueue::Heap(h) => h.push(pending),
+        }
+    }
+
+    fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<Pending<E>> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_if_at_most(deadline),
+            EventQueue::Heap(h) => {
+                if h.peek()?.at > deadline {
+                    return None;
+                }
+                h.pop()
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Pending<E>> {
+        self.pop_if_at_most(SimTime::from_micros(u64::MAX))
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            EventQueue::Heap(h) => h.len(),
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        if let EventQueue::Wheel(w) = self {
+            w.advance_to(now);
+        }
+    }
+}
+
 /// The scheduling facade handed to event handlers.
 ///
 /// Handlers can enqueue future events but cannot advance the clock or
 /// drain the queue — that stays with [`Engine::run_until`].
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    queue: BinaryHeap<Pending<E>>,
+    queue: EventQueue<E>,
     next_seq: u64,
     now: SimTime,
 }
 
 impl<E> Scheduler<E> {
-    fn new() -> Self {
+    fn new(strategy: QueueStrategy) -> Self {
         Scheduler {
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(strategy),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -155,10 +429,18 @@ impl<E> Default for Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// Creates an engine with an empty queue at time zero.
+    /// Creates an engine with an empty queue at time zero, using the
+    /// default event-wheel queue.
     pub fn new() -> Self {
+        Self::with_strategy(QueueStrategy::default())
+    }
+
+    /// Creates an engine using the given queue implementation. Both
+    /// strategies produce bit-identical simulations; the heap is kept as
+    /// the reference for equivalence tests and benchmarks.
+    pub fn with_strategy(strategy: QueueStrategy) -> Self {
         Engine {
-            scheduler: Scheduler::new(),
+            scheduler: Scheduler::new(strategy),
             processed: 0,
         }
     }
@@ -184,11 +466,7 @@ impl<E> Engine<E> {
     pub fn run_until<W: EventHandler<E>>(&mut self, deadline: SimTime, world: &mut W) -> u64 {
         let started_at = self.scheduler.now;
         let mut n = 0;
-        while let Some(head) = self.scheduler.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let pending = self.scheduler.queue.pop().expect("peeked");
+        while let Some(pending) = self.scheduler.queue.pop_if_at_most(deadline) {
             debug_assert!(pending.at >= self.scheduler.now, "time went backwards");
             self.scheduler.now = pending.at;
             world.handle(pending.at, pending.event, &mut self.scheduler);
@@ -198,6 +476,7 @@ impl<E> Engine<E> {
         if self.scheduler.now < deadline {
             self.scheduler.now = deadline;
         }
+        self.scheduler.queue.advance_to(self.scheduler.now);
         self.processed += n;
         let obs = metrics::handles();
         obs.events.add(n);
@@ -212,6 +491,7 @@ impl<E> Engine<E> {
     /// Processes a single event if one is pending; returns its time.
     pub fn step<W: EventHandler<E>>(&mut self, world: &mut W) -> Option<SimTime> {
         let pending = self.scheduler.queue.pop()?;
+        debug_assert!(pending.at >= self.scheduler.now, "time went backwards");
         self.scheduler.now = pending.at;
         world.handle(pending.at, pending.event, &mut self.scheduler);
         self.processed += 1;
@@ -323,5 +603,214 @@ mod tests {
             .scheduler()
             .schedule_after(SimDuration::from_secs(2), 2);
         assert_eq!(engine.scheduler().pending(), 2);
+    }
+
+    /// An observed (time, event) sequence from one engine run.
+    type Seen = Vec<(u64, u32)>;
+
+    /// Runs the same scripted schedule on both queue strategies and
+    /// returns the two observed (time, event) sequences.
+    fn run_both(schedule: &[(u64, u32)], deadline: SimTime) -> (Seen, Seen) {
+        let mut out = Vec::new();
+        for strategy in [QueueStrategy::Wheel, QueueStrategy::BinaryHeap] {
+            let mut engine = Engine::with_strategy(strategy);
+            for &(at, ev) in schedule {
+                engine.scheduler().schedule_at(SimTime::from_micros(at), ev);
+            }
+            let mut world = Recorder::default();
+            engine.run_until(deadline, &mut world);
+            out.push(world.seen);
+        }
+        let heap = out.pop().unwrap();
+        let wheel = out.pop().unwrap();
+        (wheel, heap)
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_dense_and_sparse_schedules() {
+        // Pseudo-random times spanning in-ring, same-bucket-collision,
+        // and far-overflow ranges (the ring horizon is 2.56 s).
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut schedule = Vec::new();
+        for ev in 0..500u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let at = match ev % 4 {
+                0 => x % 625,                       // all in bucket 0
+                1 => x % 2_560_000,                 // within one lap
+                2 => x % 60_000_000,                // tens of laps out
+                _ => 3_600_000_000 + x % 1_000_000, // an hour out
+            };
+            schedule.push((at, ev));
+        }
+        let (wheel, heap) = run_both(&schedule, SimTime::from_secs(2 * 3600));
+        assert_eq!(wheel.len(), 500);
+        assert_eq!(wheel, heap);
+    }
+
+    #[test]
+    fn wheel_matches_heap_across_multiple_run_until_calls() {
+        let schedule: Vec<(u64, u32)> = (0..100)
+            .map(|i| (i * 997_001 % 10_000_000, i as u32))
+            .collect();
+        for strategy in [QueueStrategy::Wheel, QueueStrategy::BinaryHeap] {
+            let mut engine = Engine::with_strategy(strategy);
+            for &(at, ev) in &schedule {
+                engine.scheduler().schedule_at(SimTime::from_micros(at), ev);
+            }
+            let mut world = Recorder::default();
+            // Drain in uneven windows, including one that lands mid-bucket.
+            for deadline_us in [1_000, 312, 5_000_000, 9_999_999, 10_000_000] {
+                engine.run_until(
+                    engine.now().max(SimTime::from_micros(deadline_us)),
+                    &mut world,
+                );
+            }
+            assert_eq!(world.seen.len(), 100, "{strategy:?} lost events");
+            let mut sorted = world.seen.clone();
+            sorted.sort();
+            assert_eq!(world.seen, sorted, "{strategy:?} out of order");
+        }
+    }
+
+    #[test]
+    fn wheel_handles_chained_events_across_lap_wraps() {
+        // A 1 s chain wraps the 2.56 s ring many times over 100 steps.
+        struct Chain(u32);
+        impl EventHandler<u32> for Chain {
+            fn handle(&mut self, _now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+                self.0 += 1;
+                if ev < 99 {
+                    s.schedule_after(SimDuration::from_secs(1), ev + 1);
+                }
+            }
+        }
+        let mut engine = Engine::with_strategy(QueueStrategy::Wheel);
+        engine.scheduler().schedule_at(SimTime::ZERO, 0);
+        let mut world = Chain(0);
+        let n = engine.run_until(SimTime::from_secs(200), &mut world);
+        assert_eq!(n, 100);
+        assert_eq!(world.0, 100);
+        assert_eq!(engine.now(), SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn wheel_far_jump_then_near_schedule_stays_in_order() {
+        // run_until with an empty queue advances the wheel cursor; a
+        // later near event plus a far event must still order correctly.
+        let mut engine: Engine<u32> = Engine::with_strategy(QueueStrategy::Wheel);
+        let mut world = Recorder::default();
+        engine.run_until(SimTime::from_secs(1_000_000), &mut world);
+        engine
+            .scheduler()
+            .schedule_after(SimDuration::from_micros(100), 1);
+        engine
+            .scheduler()
+            .schedule_after(SimDuration::from_secs(3600), 2);
+        engine.run_until(SimTime::from_secs(2_000_000), &mut world);
+        assert_eq!(
+            world.seen,
+            vec![
+                (1_000_000_000_100, 1),
+                (1_000_000_000_000 + 3_600_000_000, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn wheel_near_event_after_far_anchor_pops_first() {
+        let mut engine: Engine<u32> = Engine::with_strategy(QueueStrategy::Wheel);
+        let mut world = Recorder::default();
+        engine.scheduler().schedule_at(SimTime::from_secs(3600), 2);
+        // Quiet run: pops nothing but anchors the wheel lap at the far
+        // event's bucket.
+        engine.run_until(SimTime::from_secs(10), &mut world);
+        assert!(world.seen.is_empty());
+        // A nearer event arrives behind the anchored lap; it must still
+        // pop first.
+        engine.scheduler().schedule_at(SimTime::from_secs(20), 1);
+        engine.run_until(SimTime::from_secs(7200), &mut world);
+        assert_eq!(world.seen, vec![(20_000_000, 1), (3_600_000_000, 2)]);
+    }
+
+    #[test]
+    fn wheel_ring_insert_does_not_leapfrog_overflow() {
+        // Regression: as pops advance the cursor, the ring horizon
+        // slides past overflow events pushed when they were out of
+        // range. A new event between the overflow head and the moved
+        // horizon must not enter the ring (it would pop early).
+        let slot = |n: u64| SimTime::from_micros(n * 625);
+        let mut engine: Engine<u32> = Engine::with_strategy(QueueStrategy::Wheel);
+        let mut world = Recorder::default();
+        // Bucket 10 → ring; bucket 4100 → overflow (horizon is 4096).
+        engine.scheduler().schedule_at(slot(10), 1);
+        engine.scheduler().schedule_at(slot(4100), 2);
+        // Pop the near event: cursor moves to bucket 10, horizon 4106 —
+        // now *past* the overflow event at 4100.
+        engine.run_until(slot(100), &mut world);
+        // Bucket 4104: inside the moved horizon but after the overflow
+        // head. Must pop after event 2.
+        engine.scheduler().schedule_at(slot(4104), 3);
+        engine.run_until(slot(10_000), &mut world);
+        let order: Vec<u32> = world.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_mixed_horizon_chains() {
+        // The repro_bench equivalence scenario: dense same-bucket
+        // collisions, in-lap, next-lap, and hour-out events, with
+        // handlers chaining follow-ups at varying offsets.
+        struct Chainer {
+            seen: Vec<(u64, u32)>,
+        }
+        impl EventHandler<u32> for Chainer {
+            fn handle(&mut self, now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+                self.seen.push((now.as_micros(), ev));
+                if ev.is_multiple_of(5) && ev < 400 {
+                    s.schedule_after(
+                        SimDuration::from_slots(u64::from(ev % 17) * 613 + 1),
+                        ev + 1,
+                    );
+                }
+            }
+        }
+        let run = |strategy| {
+            let mut engine: Engine<u32> = Engine::with_strategy(strategy);
+            let mut state = 0x0123_4567_89AB_CDEF_u64;
+            for ev in 0..500u32 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let micros = match ev % 4 {
+                    0 => state % 625,
+                    1 => 625 * (state % 4096),
+                    2 => 625 * 4096 + state % 10_000_000,
+                    _ => 3_600_000_000 + state % 1_000_000,
+                };
+                engine
+                    .scheduler()
+                    .schedule_at(SimTime::from_micros(micros), ev);
+            }
+            let mut world = Chainer { seen: Vec::new() };
+            engine.run_until(SimTime::from_secs(100_000), &mut world);
+            world.seen
+        };
+        assert_eq!(run(QueueStrategy::Wheel), run(QueueStrategy::BinaryHeap));
+    }
+
+    #[test]
+    fn wheel_simultaneous_events_fifo_in_overflow_and_ring() {
+        let mut engine = Engine::with_strategy(QueueStrategy::Wheel);
+        // Ten ties an hour out: they start in overflow, migrate into the
+        // ring together, and must still pop in scheduling order.
+        for ev in 0..10 {
+            engine.scheduler().schedule_at(SimTime::from_secs(3600), ev);
+        }
+        let mut world = Recorder::default();
+        engine.run_until(SimTime::from_secs(7200), &mut world);
+        let order: Vec<u32> = world.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 }

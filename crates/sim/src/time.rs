@@ -40,14 +40,16 @@ impl SimTime {
         SimTime(us)
     }
 
-    /// Builds an instant from whole milliseconds.
+    /// Builds an instant from whole milliseconds, saturating at the
+    /// representable horizon (~584,942 simulated years).
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000)
+        SimTime(ms.saturating_mul(1_000))
     }
 
-    /// Builds an instant from whole seconds.
+    /// Builds an instant from whole seconds, saturating at the
+    /// representable horizon.
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000)
+        SimTime(s.saturating_mul(1_000_000))
     }
 
     /// Raw microsecond count.
@@ -88,14 +90,16 @@ impl SimDuration {
         SimDuration(us)
     }
 
-    /// Builds a duration from whole milliseconds.
+    /// Builds a duration from whole milliseconds, saturating at the
+    /// representable horizon.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
+        SimDuration(ms.saturating_mul(1_000))
     }
 
-    /// Builds a duration from whole seconds.
+    /// Builds a duration from whole seconds, saturating at the
+    /// representable horizon.
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000)
+        SimDuration(s.saturating_mul(1_000_000))
     }
 
     /// Builds a duration from fractional seconds, rounding to the nearest
@@ -107,9 +111,10 @@ impl SimDuration {
         SimDuration((s * 1e6).round() as u64)
     }
 
-    /// Builds a duration as a number of baseband slots.
+    /// Builds a duration as a number of baseband slots, saturating at
+    /// the representable horizon.
     pub const fn from_slots(slots: u64) -> Self {
-        SimDuration(slots * 625)
+        SimDuration(slots.saturating_mul(625))
     }
 
     /// Raw microsecond count.
@@ -145,56 +150,61 @@ impl SimDuration {
     }
 }
 
+// Deadline/interval arithmetic saturates instead of wrapping or
+// panicking: multi-year horizons (e.g. `SimTime::from_secs(u64::MAX)`
+// sentinels for "never") must clamp to the representable maximum, not
+// overflow in release builds. Causality checks stay in `since()`.
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 - rhs.0)
+        SimTime(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl SubAssign for SimDuration {
     fn sub_assign(&mut self, rhs: SimDuration) {
-        self.0 -= rhs.0;
+        self.0 = self.0.saturating_sub(rhs.0);
     }
 }
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -287,6 +297,43 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn multi_year_horizons_saturate_instead_of_overflowing() {
+        // An 18-month campaign is ~4.7e13 µs; sweeps may extend horizons
+        // by orders of magnitude. Deadline math must clamp, not wrap.
+        let century = SimDuration::from_secs(100 * 365 * 24 * 3600);
+        let mut deadline = SimTime::ZERO;
+        for _ in 0..10_000 {
+            deadline += century;
+        }
+        assert_eq!(deadline, SimTime::from_micros(u64::MAX));
+        assert_eq!(deadline + SLOT, SimTime::from_micros(u64::MAX));
+
+        // "Never" sentinels built from whole seconds clamp too.
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::from_micros(u64::MAX));
+        assert_eq!(
+            SimDuration::from_slots(u64::MAX),
+            SimDuration::from_micros(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX) * 7,
+            SimDuration::from_micros(u64::MAX)
+        );
+
+        // Subtraction saturates at zero rather than underflowing.
+        assert_eq!(SimTime::ZERO - century, SimTime::ZERO);
+        assert_eq!(SimDuration::ZERO - century, SimDuration::ZERO);
+        let mut d = SimDuration::from_secs(1);
+        d -= SimDuration::from_secs(2);
+        assert_eq!(d, SimDuration::ZERO);
+
+        // The causality check in `since` still fires.
+        assert_eq!(
+            SimTime::from_micros(u64::MAX).since(SimTime::ZERO),
+            SimDuration::from_micros(u64::MAX)
+        );
     }
 
     #[test]

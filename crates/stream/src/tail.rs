@@ -19,19 +19,51 @@ impl LineFramer {
 
     /// Feeds the next chunk; returns every line completed by it (without
     /// the terminating newline). The unterminated remainder is buffered.
+    ///
+    /// Allocates one `String` per line; hot paths should prefer
+    /// [`LineFramer::push_lines`], which borrows instead.
     pub fn push(&mut self, chunk: &str) -> Vec<String> {
-        self.partial.push_str(chunk);
         let mut lines = Vec::new();
-        while let Some(pos) = self.partial.find('\n') {
-            let rest = self.partial.split_off(pos + 1);
-            let mut line = std::mem::replace(&mut self.partial, rest);
-            line.pop(); // the '\n'
-            if line.ends_with('\r') {
-                line.pop();
-            }
-            lines.push(line);
-        }
+        self.push_lines(chunk, |line| lines.push(line.to_string()));
         lines
+    }
+
+    /// Feeds the next chunk, invoking `sink` once per completed line
+    /// (without the newline; a trailing `\r` is stripped).
+    ///
+    /// Zero-copy: lines fully contained in `chunk` are passed as
+    /// borrowed subslices of it; only a line spanning a chunk boundary
+    /// goes through the internal buffer, and only the unterminated tail
+    /// is copied in. Steady-state tailing therefore allocates nothing.
+    pub fn push_lines<F: FnMut(&str)>(&mut self, chunk: &str, mut sink: F) {
+        let mut rest = chunk;
+        if !self.partial.is_empty() {
+            // Complete the buffered partial line first.
+            match rest.find('\n') {
+                Some(pos) => {
+                    self.partial.push_str(&rest[..pos]);
+                    if self.partial.ends_with('\r') {
+                        self.partial.pop();
+                    }
+                    sink(&self.partial);
+                    self.partial.clear();
+                    rest = &rest[pos + 1..];
+                }
+                None => {
+                    self.partial.push_str(rest);
+                    return;
+                }
+            }
+        }
+        while let Some(pos) = rest.find('\n') {
+            let mut line = &rest[..pos];
+            if line.ends_with('\r') {
+                line = &line[..line.len() - 1];
+            }
+            sink(line);
+            rest = &rest[pos + 1..];
+        }
+        self.partial.push_str(rest);
     }
 
     /// Bytes buffered waiting for a newline.
@@ -75,5 +107,47 @@ mod tests {
     fn strips_crlf() {
         let mut f = LineFramer::new();
         assert_eq!(f.push("x\r\ny\n"), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn push_lines_equals_push_for_every_chunking() {
+        // Split the same input at every pair of positions and require
+        // the borrow-based API to yield exactly what push() yields.
+        let input = "alpha\nbeta\r\n\ngamma with spaces\nδelta\npartial tail";
+        let expect = {
+            let mut f = LineFramer::new();
+            let mut lines = f.push(input);
+            if let Some(t) = f.finish() {
+                lines.push(t);
+            }
+            lines
+        };
+        let bytes = input.as_bytes();
+        let boundaries: Vec<usize> = (0..=bytes.len())
+            .filter(|&i| input.is_char_boundary(i))
+            .collect();
+        for &a in &boundaries {
+            for &b in boundaries.iter().filter(|&&b| b >= a) {
+                let mut f = LineFramer::new();
+                let mut got: Vec<String> = Vec::new();
+                for chunk in [&input[..a], &input[a..b], &input[b..]] {
+                    f.push_lines(chunk, |line| got.push(line.to_string()));
+                }
+                if let Some(t) = f.finish() {
+                    got.push(t);
+                }
+                assert_eq!(got, expect, "split at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn push_lines_borrows_complete_lines_without_buffering() {
+        let mut f = LineFramer::new();
+        let mut n = 0;
+        f.push_lines("one\ntwo\nthree\n", |_| n += 1);
+        assert_eq!(n, 3);
+        // Nothing buffered: every line lived entirely in the chunk.
+        assert_eq!(f.pending(), 0);
     }
 }

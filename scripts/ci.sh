@@ -12,5 +12,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Observability overhead contract: disabled-registry instrumentation
 # must stay at relaxed-atomic cost on the bench_stream hot path.
 cargo run --release -p btpan-bench --bin repro_obs_overhead
+# Perf smoke gate: the hot-path fast paths must hold their floors
+# (idle-slot skip >= 3x over the slot-by-slot reference and an absolute
+# slots/s floor) and every fast-vs-reference equivalence check must
+# pass. Emits BENCH_PR4.json at the repo root.
+cargo run --release -p btpan-bench --bin repro_bench -- --quick
 
 echo "ci: all gates passed"

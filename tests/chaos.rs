@@ -32,6 +32,7 @@ fn supervised_campaign_survives_worker_and_pipeline_faults() {
         seed_timeout: Some(Duration::from_secs(5)),
         backoff_base: Duration::from_millis(5),
         campaign_seed: 7,
+        workers: None,
     };
     let seeds = [OK, PANICKER, SLEEPER, FLAKY];
     let outcome = run_supervised(&seeds, &config, |seed| match seed {
