@@ -41,4 +41,4 @@ pub use channel::{
 pub use hop::HopSequence;
 pub use link::{AclLink, AttemptResult, LinkConfig, TransferOutcome};
 pub use packet::PacketType;
-pub use piconet::{Piconet, PiconetError, SlaveSlot};
+pub use piconet::{Piconet, PiconetError, Scatternet, SlaveSlot};

@@ -186,6 +186,201 @@ impl Piconet {
     }
 }
 
+/// A scatternet: several piconets sharing **bridge** devices.
+///
+/// A bridge is a slave in more than one piconet (or a master in one and
+/// a slave elsewhere). It cannot listen to two hop sequences at once, so
+/// it time-shares: it spends `1/k` of its slots in each of its `k`
+/// piconets, resynchronizing its clock and hop phase on every switch.
+/// That time-share is exactly what a campaign needs to inflate a bridge
+/// node's air time, and the per-piconet
+/// [`HopSequence`](crate::hop::HopSequence)s expose which channel the
+/// bridge is tuned to in any slot.
+#[derive(Debug, Clone, Default)]
+pub struct Scatternet {
+    piconets: Vec<Piconet>,
+    hops: Vec<crate::hop::HopSequence>,
+    /// Device id → indices of the piconets it belongs to (master or
+    /// slave), in join order.
+    membership: BTreeMap<u64, Vec<usize>>,
+    /// Slots a bridge dwells in one piconet before switching (the
+    /// inter-piconet scheduling epoch).
+    epoch_slots: u64,
+}
+
+impl Scatternet {
+    /// Default bridge dwell time: 800 slots (0.5 s) per piconet visit.
+    pub const DEFAULT_EPOCH_SLOTS: u64 = 800;
+
+    /// Creates an empty scatternet with the default dwell epoch.
+    pub fn new() -> Self {
+        Scatternet {
+            piconets: Vec::new(),
+            hops: Vec::new(),
+            membership: BTreeMap::new(),
+            epoch_slots: Self::DEFAULT_EPOCH_SLOTS,
+        }
+    }
+
+    /// Adds a piconet mastered by `master`, hopping on `master`'s clock
+    /// (the master address seeds the hop sequence). Returns its index.
+    pub fn add_piconet(&mut self, master: u64) -> usize {
+        let idx = self.piconets.len();
+        self.piconets.push(Piconet::new(master));
+        self.hops.push(crate::hop::HopSequence::new(master));
+        self.membership.entry(master).or_default().push(idx);
+        idx
+    }
+
+    /// Joins `device` to piconet `pic` as an active slave. A device
+    /// already in another piconet becomes a bridge.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Piconet::join`]: full piconet or double join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pic` is out of range.
+    pub fn join(&mut self, pic: usize, device: u64) -> Result<SlaveSlot, PiconetError> {
+        let slot = self.piconets[pic].join(device)?;
+        self.membership.entry(device).or_default().push(pic);
+        Ok(slot)
+    }
+
+    /// Number of piconets.
+    pub fn piconet_count(&self) -> usize {
+        self.piconets.len()
+    }
+
+    /// The piconet at `index`.
+    pub fn piconet(&self, index: usize) -> &Piconet {
+        &self.piconets[index]
+    }
+
+    /// The hop sequence of piconet `index`.
+    pub fn hop(&self, index: usize) -> &crate::hop::HopSequence {
+        &self.hops[index]
+    }
+
+    /// Indices of the piconets `device` belongs to (empty if unknown).
+    pub fn piconets_of(&self, device: u64) -> &[usize] {
+        self.membership
+            .get(&device)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when `device` is a member of more than one piconet.
+    pub fn is_bridge(&self, device: u64) -> bool {
+        self.piconets_of(device).len() > 1
+    }
+
+    /// Number of bridge devices.
+    pub fn bridge_count(&self) -> usize {
+        self.membership.values().filter(|p| p.len() > 1).count()
+    }
+
+    /// The fraction of slots `device` can spend in any one of its
+    /// piconets: `1/k` for a member of `k` piconets, `1.0` for plain
+    /// members and unknown devices (they have nowhere else to be).
+    pub fn time_share(&self, device: u64) -> f64 {
+        let k = self.piconets_of(device).len();
+        if k <= 1 {
+            1.0
+        } else {
+            1.0 / k as f64
+        }
+    }
+
+    /// Which of `device`'s piconets it serves during `slot`, by dwell
+    /// epoch round-robin (`None` for devices in no piconet).
+    pub fn serving_piconet(&self, device: u64, slot: u64) -> Option<usize> {
+        let pics = self.piconets_of(device);
+        match pics.len() {
+            0 => None,
+            1 => Some(pics[0]),
+            k => Some(pics[(slot / self.epoch_slots) as usize % k]),
+        }
+    }
+
+    /// The hop channel `device` is tuned to in `slot`: the serving
+    /// piconet's hop sequence evaluated at that slot.
+    pub fn channel_for(&self, device: u64, slot: u64) -> Option<u8> {
+        self.serving_piconet(device, slot)
+            .map(|p| self.hops[p].channel(slot))
+    }
+}
+
+#[cfg(test)]
+mod scatternet_tests {
+    use super::*;
+
+    fn three_piconet_bridge() -> Scatternet {
+        let mut s = Scatternet::new();
+        let p0 = s.add_piconet(100);
+        let p1 = s.add_piconet(200);
+        let p2 = s.add_piconet(300);
+        s.join(p0, 1).unwrap();
+        s.join(p0, 2).unwrap();
+        s.join(p1, 11).unwrap();
+        s.join(p2, 21).unwrap();
+        // Device 1 bridges into the other two piconets.
+        s.join(p1, 1).unwrap();
+        s.join(p2, 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn bridge_membership_and_time_share() {
+        let s = three_piconet_bridge();
+        assert_eq!(s.piconet_count(), 3);
+        assert!(s.is_bridge(1));
+        assert!(!s.is_bridge(2));
+        assert_eq!(s.bridge_count(), 1);
+        assert_eq!(s.piconets_of(1), &[0, 1, 2]);
+        assert!((s.time_share(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.time_share(2), 1.0);
+        assert_eq!(s.time_share(9999), 1.0);
+    }
+
+    #[test]
+    fn bridge_time_shares_hop_sequences() {
+        let s = three_piconet_bridge();
+        // Over consecutive dwell epochs the bridge cycles its piconets.
+        let e = Scatternet::DEFAULT_EPOCH_SLOTS;
+        assert_eq!(s.serving_piconet(1, 0), Some(0));
+        assert_eq!(s.serving_piconet(1, e), Some(1));
+        assert_eq!(s.serving_piconet(1, 2 * e), Some(2));
+        assert_eq!(s.serving_piconet(1, 3 * e), Some(0));
+        // A plain member never leaves its piconet.
+        assert_eq!(s.serving_piconet(2, 5 * e), Some(0));
+        assert_eq!(s.serving_piconet(9999, 0), None);
+        // The channel comes from the serving piconet's own sequence.
+        let slot = e; // bridge serving piconet 1
+        assert_eq!(s.channel_for(1, slot), Some(s.hop(1).channel(slot)));
+        // Distinct masters seed distinct hop sequences: the bridge must
+        // retune somewhere over an epoch of slots.
+        let retunes = (0..e).any(|k| s.hop(0).channel(k) != s.hop(1).channel(k));
+        assert!(retunes, "hop sequences indistinguishable");
+    }
+
+    #[test]
+    fn scatternet_enforces_per_piconet_capacity() {
+        let mut s = Scatternet::new();
+        let p0 = s.add_piconet(100);
+        for d in 1..=7 {
+            s.join(p0, d).unwrap();
+        }
+        assert_eq!(s.join(p0, 8), Err(PiconetError::Full));
+        // The same device cannot join the same piconet twice, but can
+        // join a second piconet.
+        let p1 = s.add_piconet(200);
+        assert_eq!(s.join(p1, 7), Ok(SlaveSlot(1)));
+        assert_eq!(s.join(p1, 7), Err(PiconetError::AlreadyJoined));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -79,6 +79,14 @@ struct CampaignBench {
 }
 
 #[derive(Serialize)]
+struct TopologyBench {
+    piconets: usize,
+    seeds: usize,
+    simulated_hours: f64,
+    piconet_seeds_per_s: f64,
+}
+
+#[derive(Serialize)]
 struct CollectBench {
     records: usize,
     export_records_per_s: f64,
@@ -100,6 +108,7 @@ struct Report {
     idle: IdleBench,
     engine: EngineBench,
     campaign: CampaignBench,
+    topology: TopologyBench,
     collect: CollectBench,
     equivalence: Equivalence,
 }
@@ -248,6 +257,30 @@ fn bench_campaign(seeds: &[u64], hours: u64) -> CampaignBench {
         simulated_hours: hours as f64,
         cold_calibration_s,
         seeds_per_s: total / elapsed,
+    }
+}
+
+/// Multi-piconet campaign throughput: the 3-piconet scatternet with a
+/// bridge, rated in piconet-seeds/s (piconets x seeds over wall time)
+/// so the row is comparable to the single-piconet seeds/s above.
+fn bench_topology(seeds: &[u64], hours: u64) -> TopologyBench {
+    let topo = btpan_core::topology::Topology::scatternet();
+    let piconets = topo.piconets.len();
+    let duration = SimDuration::from_secs(hours * 3600);
+    let start = Instant::now();
+    for &seed in seeds {
+        let cfg = CampaignConfig::with_topology(seed, topo.clone(), RecoveryPolicy::Siras)
+            .duration(duration);
+        let result = Campaign::new(cfg).run();
+        assert_eq!(result.piconets.len(), piconets, "scatternet ran short");
+        black_box(result.failure_count);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    TopologyBench {
+        piconets,
+        seeds: seeds.len(),
+        simulated_hours: hours as f64,
+        piconet_seeds_per_s: (piconets * seeds.len()) as f64 / elapsed,
     }
 }
 
@@ -416,6 +449,16 @@ fn main() {
         campaign.cold_calibration_s, campaign.seeds_per_s
     );
 
+    eprintln!(
+        "repro_bench: multi-piconet campaign ({} scatternet seeds, {camp_hours} h)...",
+        seeds.len()
+    );
+    let topology = bench_topology(&seeds, camp_hours);
+    eprintln!(
+        "  {} piconets x {} seeds: {:.2} piconet-seeds/s",
+        topology.piconets, topology.seeds, topology.piconet_seeds_per_s
+    );
+
     eprintln!("repro_bench: collect/stream record paths...");
     let (collect, reexport_ok) = bench_collect(&seeds, collect_hours);
     eprintln!(
@@ -481,6 +524,7 @@ fn main() {
         idle,
         engine,
         campaign,
+        topology,
         collect,
         equivalence,
     };

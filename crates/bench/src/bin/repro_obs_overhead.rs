@@ -75,6 +75,7 @@ fn config() -> StreamConfig {
         idle_timeout_ms: None,
         nap_node: 0,
         keep_tuples: false,
+        group_of: None,
     }
 }
 

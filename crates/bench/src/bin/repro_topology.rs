@@ -1,0 +1,126 @@
+//! Golden-equivalence gate for the topology layer.
+//!
+//! Two checks, both hard-failing (nonzero exit) on mismatch:
+//!
+//! 1. **Two-testbed equivalence** — the `paper-both` preset runs both
+//!    paper testbeds in one campaign; per testbed its failure counters
+//!    and TTF/TTR series must be bit-identical to the legacy
+//!    single-testbed campaigns at the same seed.
+//! 2. **Scatternet smoke** — the 3-piconet bridge topology runs a short
+//!    campaign twice at one seed: identical outcomes both times, all
+//!    piconets present, and NAP-site evidence correlated across
+//!    piconets in the relationship matrix.
+//!
+//! `--quick` shrinks durations for CI.
+
+use btpan_core::campaign::{Campaign, CampaignConfig, CampaignResult};
+use btpan_core::experiment::{relationship_matrix, scatternet_demo};
+use btpan_core::topology::Topology;
+use btpan_faults::CauseSite;
+use btpan_recovery::RecoveryPolicy;
+use btpan_sim::time::SimDuration;
+use btpan_workload::WorkloadKind;
+
+fn run(config: CampaignConfig) -> CampaignResult {
+    Campaign::new(config).run()
+}
+
+fn check_paper_equivalence(seed: u64, hours: u64) -> bool {
+    let dur = SimDuration::from_secs(hours * 3600);
+    let mut ok = true;
+    for policy in [
+        RecoveryPolicy::RebootOnly,
+        RecoveryPolicy::Siras,
+        RecoveryPolicy::SirasAndMasking,
+    ] {
+        let both = run(CampaignConfig::paper_both(seed, policy).duration(dur));
+        let singles = [
+            run(CampaignConfig::paper(seed, WorkloadKind::Random, policy).duration(dur)),
+            run(CampaignConfig::paper(seed, WorkloadKind::Realistic, policy).duration(dur)),
+        ];
+        for (i, single) in singles.iter().enumerate() {
+            let p = &both.piconets[i];
+            let series_both = both.piconet_series_of(i);
+            let series_single = single.piconet_series();
+            let equal = p.failure_count == single.failure_count
+                && p.masked_count == single.masked_count
+                && p.cycles_run == single.cycles_run
+                && series_both == series_single;
+            eprintln!(
+                "  {:?} {}: {} failures, MTTF {:.1} s -> {}",
+                policy,
+                p.label,
+                p.failure_count,
+                series_both.ttf_stats().mean().unwrap_or(f64::INFINITY),
+                if equal { "MATCH" } else { "MISMATCH" }
+            );
+            if !equal {
+                eprintln!(
+                    "    single-testbed: {} failures, {} masked, {} cycles",
+                    single.failure_count, single.masked_count, single.cycles_run
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn check_scatternet_smoke(seed: u64, hours: u64) -> bool {
+    let dur = SimDuration::from_secs(hours * 3600);
+    let topo = Topology::scatternet();
+    let (r1, m1) = scatternet_demo(seed, dur);
+    let (r2, m2) = scatternet_demo(seed, dur);
+    let mut ok = true;
+    if r1.piconets != r2.piconets || m1 != m2 {
+        eprintln!("  FAIL: scatternet campaign is not deterministic");
+        ok = false;
+    }
+    if r1.piconets.len() != topo.piconets.len() {
+        eprintln!(
+            "  FAIL: expected {} piconets, got {}",
+            topo.piconets.len(),
+            r1.piconets.len()
+        );
+        ok = false;
+    }
+    let matrix = relationship_matrix(&r1, &topo, SimDuration::from_secs(330));
+    let nap_cells: u64 = matrix
+        .cells()
+        .iter()
+        .filter_map(|(_, cause, n)| match cause {
+            Some((_, CauseSite::Nap)) => Some(*n),
+            _ => None,
+        })
+        .sum();
+    if nap_cells == 0 {
+        eprintln!("  FAIL: no NAP-site evidence correlated across the scatternet");
+        ok = false;
+    }
+    for p in &r1.piconets {
+        eprintln!(
+            "  piconet {} ({}): {} failures, {} cycles",
+            p.piconet_id, p.label, p.failure_count, p.cycles_run
+        );
+    }
+    eprintln!("  NAP-site observations: {nap_cells}");
+    ok
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    btpan_obs::Registry::global().disable();
+    let (paper_hours, scatternet_hours) = if quick { (6, 6) } else { (24, 24) };
+
+    eprintln!("repro_topology: two-testbed golden equivalence ({paper_hours} h, seed 42)...");
+    let paper_ok = check_paper_equivalence(42, paper_hours);
+
+    eprintln!("repro_topology: scatternet smoke ({scatternet_hours} h, seed 9)...");
+    let scatternet_ok = check_scatternet_smoke(9, scatternet_hours);
+
+    if !(paper_ok && scatternet_ok) {
+        eprintln!("repro_topology: FAILED");
+        std::process::exit(1);
+    }
+    println!("repro_topology: ok");
+}

@@ -66,6 +66,34 @@ impl RelationshipMatrix {
         matrix
     }
 
+    /// Multi-piconet variant of [`RelationshipMatrix::from_node_logs`]:
+    /// each node stream carries the set of master node-ids whose System
+    /// Logs can propagate errors to it — its home NAP, plus the masters
+    /// of every piconet it bridges into (scatternet). Evidence from any
+    /// of those masters counts as `CauseSite::Nap`.
+    pub fn from_node_logs_multi(
+        node_streams: &[(NodeId, Vec<u64>, Vec<LogRecord>)],
+        master_systems: &[(NodeId, Vec<LogRecord>)],
+        window: SimDuration,
+    ) -> Self {
+        let mut matrix = RelationshipMatrix::new();
+        for (node, masters, records) in node_streams {
+            let mut streams = vec![records.clone()];
+            for (m, recs) in master_systems {
+                if masters.contains(m) {
+                    streams.push(recs.clone());
+                }
+            }
+            let merged = merge_records(streams);
+            for tuple in coalesce(&merged, window) {
+                for obs in observations_in_multi(&tuple, *node, masters) {
+                    matrix.record(obs);
+                }
+            }
+        }
+        matrix
+    }
+
     /// Merges another matrix's counts into this one (pooling testbeds
     /// or seeds).
     pub fn absorb(&mut self, other: &RelationshipMatrix) {
@@ -208,6 +236,18 @@ pub fn observations_in(
     node: NodeId,
     nap_node: NodeId,
 ) -> Vec<RelationshipObservation> {
+    observations_in_multi(tuple, node, &[nap_node])
+}
+
+/// [`observations_in`] generalized to several masters: system evidence
+/// from any node in `masters` counts as NAP-side (propagated) evidence.
+/// A single-piconet node passes its one NAP; a scatternet bridge passes
+/// the masters of every piconet it time-shares.
+pub fn observations_in_multi(
+    tuple: &Tuple,
+    node: NodeId,
+    masters: &[NodeId],
+) -> Vec<RelationshipObservation> {
     let mut out = Vec::new();
     for failure in tuple.failures() {
         if failure.node != node {
@@ -218,7 +258,7 @@ pub fn observations_in(
         for sys in tuple.system_entries() {
             let site = if sys.node == node {
                 CauseSite::Local
-            } else if sys.node == nap_node {
+            } else if masters.contains(&sys.node) {
                 CauseSite::Nap
             } else {
                 continue;
@@ -410,6 +450,64 @@ mod tests {
         }
         assert_eq!(rebuilt, m);
         assert_eq!(rebuilt.grand_total(), 4);
+    }
+
+    #[test]
+    fn multi_master_propagation_from_remote_piconet() {
+        // A bridge node relates to evidence from either of its masters;
+        // an unrelated third master stays invisible.
+        let node_records = vec![fail(0, 1, 100, UserFailure::PacketLoss)];
+        let masters = vec![
+            (
+                200u64,
+                vec![sys(1, 200, 98, SystemFault::L2capUnexpectedFrame)],
+            ),
+            (
+                300u64,
+                vec![sys(2, 300, 99, SystemFault::HciCommandTimeout)],
+            ),
+            (
+                400u64,
+                vec![sys(3, 400, 100, SystemFault::HciCommandTimeout)],
+            ),
+        ];
+        let m = RelationshipMatrix::from_node_logs_multi(
+            &[(1, vec![200, 300], node_records)],
+            &masters,
+            SimDuration::from_secs(330),
+        );
+        // The node-300 entry is closest (gap 1 s beats 2 s) and counts
+        // as NAP-site; node 400 is not one of this node's masters.
+        assert_eq!(
+            m.percent(
+                UserFailure::PacketLoss,
+                SystemComponent::Hci,
+                CauseSite::Nap
+            ),
+            100.0
+        );
+        assert_eq!(m.grand_total(), 1);
+    }
+
+    #[test]
+    fn multi_with_single_master_matches_from_node_logs() {
+        let node_records = vec![
+            sys(0, 1, 95, SystemFault::HciCommandTimeout),
+            fail(1, 1, 100, UserFailure::ConnectFailed),
+        ];
+        let nap_records = vec![sys(2, NAP, 98, SystemFault::L2capUnexpectedFrame)];
+        let single = RelationshipMatrix::from_node_logs(
+            &[(1, node_records.clone())],
+            &nap_records,
+            NAP,
+            SimDuration::from_secs(330),
+        );
+        let multi = RelationshipMatrix::from_node_logs_multi(
+            &[(1, vec![NAP], node_records)],
+            &[(NAP, nap_records)],
+            SimDuration::from_secs(330),
+        );
+        assert_eq!(single, multi);
     }
 
     #[test]

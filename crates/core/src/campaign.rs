@@ -1,14 +1,24 @@
 //! The 24/7 campaign simulator.
 //!
-//! A campaign runs one testbed (Random or Realistic WL) for a simulated
-//! duration under a recovery policy. Each PANU executes `BlueTest`
-//! connection plans; every phase consults the mechanistic stack models
-//! (the bind race, baseband loss, latent setup faults, channel stress)
-//! and the calibrated fault injector. Failures write Test-Log reports
-//! and cause-correlated System-Log entries (locally and, for propagated
-//! causes, on the NAP), which LogAnalyzers ship to the repository.
-//! Recovery runs under the configured policy, and the resulting
-//! failure/recovery episodes feed the TTF/TTR analysis.
+//! A campaign runs a [`Topology`] — one or more piconets, each with its
+//! own NAP, PANUs and workload, optionally stitched into a scatternet
+//! by bridge nodes — for a simulated duration under a recovery policy.
+//! Each PANU executes `BlueTest` connection plans; every phase consults
+//! the mechanistic stack models (the bind race, baseband loss, latent
+//! setup faults, channel stress) and the calibrated fault injector.
+//! Failures write Test-Log reports and cause-correlated System-Log
+//! entries (locally and, for propagated causes, on a master — bridges
+//! spread propagated evidence across every piconet they serve), which
+//! LogAnalyzers ship to the repository. Recovery runs under the
+//! configured policy, and the resulting failure/recovery episodes feed
+//! the TTF/TTR analysis.
+//!
+//! Determinism is per piconet: piconet `P` draws from the RNG root
+//! `seed ⊕ P.seed_salt` and each node forks the stream named by its
+//! `stream_key`, so adding a piconet (or running one alone) never
+//! perturbs another's streams. The single-testbed
+//! [`Topology::paper`] campaign replays the legacy byte streams
+//! exactly.
 //!
 //! ## Packet-loss model
 //!
@@ -24,8 +34,7 @@
 //!   (packet loss ≈ 33 % of failures at MTTF ≈ 630–845 s), exactly the
 //!   quantity the paper measured rather than derived.
 
-use crate::machine::NAP_NODE_ID;
-use crate::testbed::Testbed;
+use crate::topology::Topology;
 use btpan_analysis::ttf::{FailureEpisode, NodeTimeline};
 use btpan_baseband::channel::GilbertElliott;
 use btpan_baseband::hop::HopSequence;
@@ -175,7 +184,13 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Simulated wall-clock duration.
     pub duration: SimDuration,
-    /// Which workload testbed to run.
+    /// The testbed topology this campaign runs: piconets, machines and
+    /// scatternet bridges. Shared by `Arc` so multi-seed drivers clone
+    /// configs cheaply.
+    pub topology: Arc<Topology>,
+    /// Convenience mirror of the **first** piconet's workload (legacy
+    /// single-testbed callers; per-piconet workloads live in
+    /// [`CampaignConfig::topology`]).
     pub workload: WorkloadKind,
     /// The recovery policy (Table 4 column).
     pub policy: RecoveryPolicy,
@@ -198,11 +213,32 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// The paper-calibrated defaults for `workload` under `policy`.
+    /// The paper-calibrated defaults for the single-testbed `workload`
+    /// campaign under `policy`.
     pub fn paper(seed: u64, workload: WorkloadKind, policy: RecoveryPolicy) -> Self {
+        Self::with_topology(seed, Topology::paper(workload), policy)
+    }
+
+    /// The paper's actual deployment: both testbeds in one campaign.
+    pub fn paper_both(seed: u64, policy: RecoveryPolicy) -> Self {
+        Self::with_topology(seed, Topology::paper_both(), policy)
+    }
+
+    /// Paper-calibrated defaults over an arbitrary `topology`.
+    pub fn with_topology(
+        seed: u64,
+        topology: impl Into<Arc<Topology>>,
+        policy: RecoveryPolicy,
+    ) -> Self {
+        let topology = topology.into();
+        let workload = topology
+            .piconets
+            .first()
+            .map_or(WorkloadKind::Random, |p| p.workload);
         CampaignConfig {
             seed,
             duration: SimDuration::from_secs(24 * 3600),
+            topology,
             workload,
             policy,
             injection: InjectionConfig::paper_calibrated(),
@@ -287,6 +323,19 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// The testbed topology to run (validated at [`build`]). Also
+    /// refreshes the legacy `workload` mirror from its first piconet.
+    ///
+    /// [`build`]: CampaignConfigBuilder::build
+    pub fn topology(mut self, topology: impl Into<Arc<Topology>>) -> Self {
+        let topology = topology.into();
+        if let Some(first) = topology.piconets.first() {
+            self.config.workload = first.workload;
+        }
+        self.config.topology = topology;
+        self
+    }
+
     /// Control-plane fault rates.
     pub fn injection(mut self, injection: InjectionConfig) -> Self {
         self.config.injection = injection;
@@ -319,8 +368,34 @@ impl CampaignConfigBuilder {
                 "must be positive; the noise process needs a finite mean gap",
             ));
         }
+        self.config.topology.validate()?;
         Ok(self.config)
     }
+}
+
+/// Per-piconet slice of a campaign: membership plus the counters that
+/// [`CampaignResult`] pools across the whole topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PiconetOutcome {
+    /// The spec's piconet id.
+    pub piconet_id: u64,
+    /// The spec's display label.
+    pub label: String,
+    /// The workload this piconet ran.
+    pub workload: WorkloadKind,
+    /// The master's node id.
+    pub master: u64,
+    /// PANU node ids, in declaration order (bridges listed in their
+    /// home piconet).
+    pub panus: Vec<u64>,
+    /// Manifested failures in this piconet.
+    pub failure_count: u64,
+    /// Failures prevented by masking.
+    pub masked_count: u64,
+    /// Manifested failures recovered by SIRAs 1–3.
+    pub covered_count: u64,
+    /// Workload cycles completed or aborted.
+    pub cycles_run: u64,
 }
 
 /// Everything a campaign produces.
@@ -343,9 +418,13 @@ pub struct CampaignResult {
     pub cycles_run: u64,
     /// The simulated duration.
     pub simulated: SimDuration,
-    /// The workload this campaign ran.
+    /// The first piconet's workload (see [`CampaignResult::piconets`]
+    /// for per-piconet workloads).
     pub workload: WorkloadKind,
-    /// Per-node system logs (NAP log first) for coalescence studies.
+    /// Per-piconet membership and counters, in topology order.
+    pub piconets: Vec<PiconetOutcome>,
+    /// Per-node system logs (master logs first, in topology order) for
+    /// coalescence studies.
     pub system_logs: Vec<SystemLog>,
     /// Per-failure recovery record: `(failure, severity)` with `None`
     /// for unrecoverable failures (Table 3 machinery).
@@ -368,12 +447,33 @@ impl CampaignResult {
     /// between the piconet returning to full service and the next
     /// failure anywhere in it (clamped at zero for overlapping
     /// downtimes); TTR stays per-failure.
+    ///
+    /// With a multi-piconet topology this merges **every** piconet onto
+    /// one timeline; for the per-testbed view use
+    /// [`CampaignResult::piconet_series_of`].
     pub fn piconet_series(&self) -> btpan_analysis::ttf::TtfTtrSeries {
-        let mut episodes: Vec<&FailureEpisode> = self
-            .timelines
-            .iter()
-            .flat_map(|tl| tl.episodes.iter())
-            .collect();
+        Self::merged_series(self.timelines.iter())
+    }
+
+    /// The piconet-level series of topology piconet `index` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn piconet_series_of(&self, index: usize) -> btpan_analysis::ttf::TtfTtrSeries {
+        let members = &self.piconets[index].panus;
+        Self::merged_series(
+            self.timelines
+                .iter()
+                .filter(|tl| members.contains(&tl.node)),
+        )
+    }
+
+    fn merged_series<'a>(
+        timelines: impl Iterator<Item = &'a NodeTimeline>,
+    ) -> btpan_analysis::ttf::TtfTtrSeries {
+        let mut episodes: Vec<&FailureEpisode> =
+            timelines.flat_map(|tl| tl.episodes.iter()).collect();
         episodes.sort_by_key(|e| e.failed_at);
         let mut s = btpan_analysis::ttf::TtfTtrSeries::default();
         let mut prev_end = SimTime::ZERO;
@@ -405,7 +505,22 @@ struct NodeRun<'a> {
     rng: SimRng,
     test_log: TestLog,
     system_log: SystemLog,
-    nap_log: &'a mut SystemLog,
+    /// One System Log per topology piconet, indexed like
+    /// `topology.piconets`; propagated causes land on a master here.
+    master_logs: &'a mut [SystemLog],
+    /// Index of this node's home piconet in `master_logs`.
+    home: usize,
+    /// Indices of the piconets this node bridges into (empty for a
+    /// plain PANU). A bridge's propagated causes spread over its home
+    /// and every bridged piconet's master.
+    remote_piconets: Vec<usize>,
+    /// The workload of this node's piconet.
+    workload: WorkloadKind,
+    /// Per-link drop-probability multiplier (topology override).
+    link_scale: f64,
+    /// Fraction of slots this node's piconets grant it (1.0 for a
+    /// plain PANU, 1/k for a bridge time-sharing k piconets).
+    time_share: f64,
     injector: &'a FaultInjector,
     loss: &'a LossModel,
     cfg: &'a CampaignConfig,
@@ -447,79 +562,116 @@ impl Campaign {
         &self.config
     }
 
-    /// Runs the campaign to completion.
+    /// Runs the campaign to completion: every piconet of the topology
+    /// in declaration order, each from its own salted RNG root.
     pub fn run(&self) -> CampaignResult {
         let cfg: &CampaignConfig = &self.config;
-        let root = SimRng::seed_from(cfg.seed);
+        let topo: &Topology = &cfg.topology;
         let injector = FaultInjector::new(cfg.injection);
-        let mut calib_rng = root.fork("loss-model");
+        // Loss calibration forks off the unsalted campaign seed so every
+        // piconet (and the process-wide memo) shares one model.
+        let mut calib_rng = SimRng::seed_from(cfg.seed).fork("loss-model");
         let loss = LossModel::calibrate(cfg.base_drop, &mut calib_rng);
-        let testbed = Testbed::paper(cfg.workload);
-        let mut nap_log = SystemLog::new(NAP_NODE_ID);
+        let scatternet = topo.to_scatternet();
         let repository = Repository::new();
 
-        let n_panus = testbed.panus.len();
-        let mut timelines = Vec::with_capacity(n_panus);
+        let mut master_logs: Vec<SystemLog> = topo
+            .piconets
+            .iter()
+            .map(|p| SystemLog::new(p.master_id()))
+            .collect();
+
+        let mut timelines = Vec::with_capacity(topo.machine_count());
         let mut masked_count = 0;
         let mut covered_count = 0;
         let mut failure_count = 0;
         let mut clean_idles_s = Vec::new();
         let mut cycles_run = 0;
-        let mut system_logs = Vec::with_capacity(n_panus + 1);
+        let mut system_logs = Vec::with_capacity(topo.machine_count());
         let mut recoveries = Vec::new();
+        let mut piconets = Vec::with_capacity(topo.piconets.len());
 
-        for panu in &testbed.panus {
-            // The Fig. 3b experiment ran on Verde and Win only.
-            if cfg.fig3b_variant && panu.name() != "Verde" && panu.name() != "Win" {
-                continue;
-            }
-            let mut run = NodeRun {
-                node: panu.node_id(),
-                name: panu.name().to_string(),
-                quirks: panu.config().quirks,
-                distance_m: panu.config().distance_m,
-                rng: root.fork_indexed("node", panu.node_id()),
-                test_log: TestLog::new(panu.node_id()),
-                system_log: SystemLog::new(panu.node_id()),
-                nap_log: &mut nap_log,
-                injector: &injector,
-                loss: &loss,
-                cfg,
-                masking: cfg.policy.masking(),
-                episodes: Vec::new(),
-                masked: 0,
-                covered: 0,
-                clean_idles_s: Vec::new(),
-                cycles: 0,
-                recoveries: Vec::new(),
-                post: (1.0, 0),
+        for (pi, pico) in topo.piconets.iter().enumerate() {
+            let root = SimRng::seed_from(cfg.seed ^ pico.seed_salt);
+            let mut outcome = PiconetOutcome {
+                piconet_id: pico.id,
+                label: pico.label.clone(),
+                workload: pico.workload,
+                master: pico.master_id(),
+                panus: Vec::new(),
+                failure_count: 0,
+                masked_count: 0,
+                covered_count: 0,
+                cycles_run: 0,
             };
-            run.simulate();
-            // Background noise entries exercise the coalescence window.
-            run.emit_noise();
-            // Ship through the LogAnalyzer daemon.
-            let mut analyzer = LogAnalyzer::new(run.node);
-            analyzer.run_once(&run.test_log, &run.system_log, &repository);
-            timelines.push(NodeTimeline::new(
-                run.node,
-                run.episodes,
-                SimTime::ZERO,
-                SimTime::ZERO + cfg.duration,
-            ));
-            masked_count += run.masked;
-            covered_count += run.covered;
-            failure_count += run.test_log.len() as u64;
-            clean_idles_s.extend(run.clean_idles_s);
-            cycles_run += run.cycles;
-            recoveries.append(&mut run.recoveries);
-            system_logs.push(run.system_log);
+            for spec in pico.panus() {
+                outcome.panus.push(spec.node_id);
+                // The Fig. 3b experiment ran on its target hosts only.
+                if cfg.fig3b_variant && !spec.is_fig3b_target() {
+                    continue;
+                }
+                let mut run = NodeRun {
+                    node: spec.node_id,
+                    name: spec.name.clone(),
+                    quirks: spec.quirks,
+                    distance_m: spec.distance_m,
+                    rng: root.fork_indexed("node", spec.stream_key()),
+                    test_log: TestLog::new(spec.node_id),
+                    system_log: SystemLog::new(spec.node_id),
+                    master_logs: &mut master_logs,
+                    home: pi,
+                    remote_piconets: topo.bridge_joins_of(spec.node_id),
+                    workload: pico.workload,
+                    link_scale: spec.drop_scale(),
+                    time_share: scatternet.time_share(spec.node_id),
+                    injector: &injector,
+                    loss: &loss,
+                    cfg,
+                    masking: cfg.policy.masking(),
+                    episodes: Vec::new(),
+                    masked: 0,
+                    covered: 0,
+                    clean_idles_s: Vec::new(),
+                    cycles: 0,
+                    recoveries: Vec::new(),
+                    post: (1.0, 0),
+                };
+                run.simulate();
+                // Background noise entries exercise the coalescence window.
+                run.emit_noise();
+                // Ship through the LogAnalyzer daemon.
+                let mut analyzer = LogAnalyzer::new(run.node);
+                analyzer.run_once(&run.test_log, &run.system_log, &repository);
+                timelines.push(NodeTimeline::new(
+                    run.node,
+                    run.episodes,
+                    SimTime::ZERO,
+                    SimTime::ZERO + cfg.duration,
+                ));
+                outcome.masked_count += run.masked;
+                outcome.covered_count += run.covered;
+                outcome.failure_count += run.test_log.len() as u64;
+                outcome.cycles_run += run.cycles;
+                clean_idles_s.extend(run.clean_idles_s);
+                recoveries.append(&mut run.recoveries);
+                system_logs.push(run.system_log);
+            }
+            masked_count += outcome.masked_count;
+            covered_count += outcome.covered_count;
+            failure_count += outcome.failure_count;
+            cycles_run += outcome.cycles_run;
+            piconets.push(outcome);
         }
 
-        // Ship the NAP's system log too (it has no Test Log).
-        let mut nap_analyzer = LogAnalyzer::new(NAP_NODE_ID);
-        let empty_test = TestLog::new(NAP_NODE_ID);
-        nap_analyzer.run_once(&empty_test, &nap_log, &repository);
-        system_logs.insert(0, nap_log);
+        // Ship every master's System Log too (masters have no Test
+        // Log), then front-load them so `system_logs` reads
+        // `[masters.., panus..]` in topology order.
+        for (i, log) in master_logs.into_iter().enumerate() {
+            let mut analyzer = LogAnalyzer::new(log.node());
+            let empty_test = TestLog::new(log.node());
+            analyzer.run_once(&empty_test, &log, &repository);
+            system_logs.insert(i, log);
+        }
 
         let obs = metrics::handles();
         obs.failures.add(failure_count);
@@ -536,6 +688,7 @@ impl Campaign {
             cycles_run,
             simulated: cfg.duration,
             workload: cfg.workload,
+            piconets,
             system_logs,
             recoveries,
         }
@@ -586,7 +739,7 @@ impl NodeRun<'_> {
         let realistic_wl = RealisticWorkload::paper();
 
         'campaign: while now < end {
-            let plan = match self.cfg.workload {
+            let plan = match self.workload {
                 WorkloadKind::Random => random_wl.next_connection(&mut self.rng),
                 WorkloadKind::Realistic => realistic_wl.next_connection(&mut self.rng),
             };
@@ -822,12 +975,17 @@ impl NodeRun<'_> {
         let payloads = cycle.baseband_payloads();
         let m = self.hazard();
         let stress_mult = self.cfg.stress.multiplier(cycle.duty_factor());
-        let p_drop = (self.loss.p_drop(pt) * stress_mult * m).clamp(0.0, 1.0);
+        let p_drop = (self.loss.p_drop(pt) * stress_mult * m * self.link_scale).clamp(0.0, 1.0);
 
         // Air time per payload, inflated by the application duty factor
         // (intermittent applications spread their payloads out).
-        let per_payload =
+        let mut per_payload =
             SimDuration::from_slots(pt.slots() + 1).mul_f64(1.0 / cycle.duty_factor().max(0.05));
+        // A bridge only holds each piconet's channel for its share of
+        // the scatternet epoch, stretching its transfers accordingly.
+        if self.time_share < 1.0 {
+            per_payload = per_payload.mul_f64(1.0 / self.time_share);
+        }
 
         // Candidate failure points in *workload packets* (SDUs) —
         // Fig. 3b's "number of sent packets" axis — earliest wins.
@@ -915,7 +1073,7 @@ impl NodeRun<'_> {
             at: failed_at,
             node: self.node,
             failure,
-            workload: match self.cfg.workload {
+            workload: match self.workload {
                 WorkloadKind::Random => WorkloadTag::Random,
                 WorkloadKind::Realistic => WorkloadTag::Realistic,
             },
@@ -951,8 +1109,23 @@ impl NodeRun<'_> {
                             .append(SystemLogEntry::new(at, self.node, fault));
                     }
                     CauseSite::Nap => {
-                        self.nap_log
-                            .append(SystemLogEntry::new(at, NAP_NODE_ID, fault));
+                        // A plain PANU propagates to its home master; a
+                        // bridge spreads propagated evidence uniformly
+                        // over every piconet it serves (the fault lives
+                        // in the shared baseband/BNEP path). The extra
+                        // draw happens only on bridge nodes, so plain
+                        // campaigns replay legacy streams exactly.
+                        let target = if self.remote_piconets.is_empty() {
+                            self.home
+                        } else {
+                            let k = 1 + self.remote_piconets.len() as u64;
+                            match self.rng.uniform_u64(0, k - 1) {
+                                0 => self.home,
+                                i => self.remote_piconets[(i - 1) as usize],
+                            }
+                        };
+                        let master = self.master_logs[target].node();
+                        self.master_logs[target].append(SystemLogEntry::new(at, master, fault));
                     }
                 }
             }

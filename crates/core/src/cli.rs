@@ -35,6 +35,7 @@ use crate::campaign::{Campaign, CampaignConfig};
 use crate::experiment::{self, Scale};
 use crate::machine::NAP_NODE_ID;
 use crate::supervisor::SupervisorConfig;
+use crate::topology::Topology;
 use btpan_collect::entry::LogRecord;
 use btpan_collect::relate::RelationshipMatrix;
 use btpan_collect::trace::{
@@ -100,7 +101,8 @@ pub const USAGE: &str = "btpan — Bluetooth PAN failure-data toolbench
 
 USAGE:
   btpan campaign [--workload random|realistic] [--policy reboot|app-reboot|siras|siras-masking]
-                 [--hours H] [--seed S] [--export PATH] [--metrics-out PATH]
+                 [--topology paper-a|paper-b|paper-both|scatternet|FILE.json]
+                 [--hours H] [--seed S] [--export PATH] [--metrics-out PATH] [--json]
   btpan analyze PATH [--window SECS] [--lenient-import] [--json]
   btpan stream PATH [--window SECS] [--lag SECS] [--shards N] [--snapshot-every N]
                [--follow] [--poll-ms MS] [--idle-exit POLLS] [--idle-timeout-ms MS]
@@ -220,6 +222,20 @@ fn restore_metrics(prior: bool) {
     Registry::global().set_enabled(prior);
 }
 
+/// Resolves `--topology`: a preset name or a JSON file path.
+fn parse_topology(args: &[String]) -> Result<Option<Topology>, CliError> {
+    let Some(spec) = flag_value(args, "--topology") else {
+        return Ok(None);
+    };
+    if let Some(preset) = Topology::preset(spec) {
+        return Ok(Some(preset));
+    }
+    let text = std::fs::read_to_string(spec)?;
+    Topology::from_json(&text)
+        .map(Some)
+        .map_err(|e| CliError::Usage(format!("--topology {spec}: {e}")))
+}
+
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let workload = parse_workload(args)?;
     let policy = parse_policy(args)?;
@@ -227,17 +243,82 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let seed = parse_u64(args, "--seed", 42)?;
     let metrics_out = flag_value(args, "--metrics-out");
     let prior_metrics = metrics_out.is_some().then(activate_metrics);
-    let result = Campaign::new(
-        CampaignConfig::paper(seed, workload, policy)
-            .duration(SimDuration::from_secs(hours * 3600)),
-    )
-    .run();
+    // --topology overrides --workload (the topology names each
+    // piconet's workload itself).
+    let config = match parse_topology(args)? {
+        Some(topo) => CampaignConfig::with_topology(seed, topo, policy),
+        None => CampaignConfig::paper(seed, workload, policy),
+    }
+    .duration(SimDuration::from_secs(hours * 3600));
+    let topology = std::sync::Arc::clone(&config.topology);
+    let result = Campaign::new(config).run();
     let series = result.piconet_series();
     let mttf = series.ttf_stats().mean().unwrap_or(f64::INFINITY);
     let mttr = series.ttr_stats().mean().unwrap_or(0.0);
+    if has_flag(args, "--json") {
+        let piconets = result
+            .piconets
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("id".into(), Value::Number(Number::U64(p.piconet_id))),
+                    ("label".into(), Value::String(p.label.clone())),
+                    (
+                        "workload".into(),
+                        Value::String(format!("{:?}", p.workload)),
+                    ),
+                    ("master".into(), Value::Number(Number::U64(p.master))),
+                    (
+                        "panus".into(),
+                        Value::Array(
+                            p.panus
+                                .iter()
+                                .map(|&n| Value::Number(Number::U64(n)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "failures".into(),
+                        Value::Number(Number::U64(p.failure_count)),
+                    ),
+                    ("masked".into(), Value::Number(Number::U64(p.masked_count))),
+                    ("cycles".into(), Value::Number(Number::U64(p.cycles_run))),
+                ])
+            })
+            .collect();
+        let data = Value::Object(vec![
+            ("topology".into(), topology.to_value()),
+            ("seed".into(), Value::Number(Number::U64(seed))),
+            ("hours".into(), Value::Number(Number::U64(hours))),
+            (
+                "cycles".into(),
+                Value::Number(Number::U64(result.cycles_run)),
+            ),
+            (
+                "failures".into(),
+                Value::Number(Number::U64(result.failure_count)),
+            ),
+            (
+                "masked".into(),
+                Value::Number(Number::U64(result.masked_count)),
+            ),
+            ("mttf_s".into(), Value::Number(Number::F64(mttf))),
+            ("mttr_s".into(), Value::Number(Number::F64(mttr))),
+            (
+                "availability".into(),
+                Value::Number(Number::F64(mttf / (mttf + mttr))),
+            ),
+            ("piconets".into(), Value::Array(piconets)),
+        ]);
+        if let Some(prior) = prior_metrics {
+            restore_metrics(prior);
+        }
+        return Ok(json_envelope("campaign", data, 0));
+    }
     let mut out = String::new();
     out.push_str(&format!(
-        "campaign: {workload:?} WL, {policy:?} policy, seed {seed}, {hours} h\n"
+        "campaign: topology {}, {policy:?} policy, seed {seed}, {hours} h\n",
+        topology.name
     ));
     out.push_str(&format!("cycles:      {}\n", result.cycles_run));
     out.push_str(&format!("failures:    {}\n", result.failure_count));
@@ -246,6 +327,14 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         "log items:   {}\n",
         result.repository.total_count()
     ));
+    if result.piconets.len() > 1 {
+        for p in &result.piconets {
+            out.push_str(&format!(
+                "  piconet {} ({}, {:?} WL): {} failures, {} cycles\n",
+                p.piconet_id, p.label, p.workload, p.failure_count, p.cycles_run
+            ));
+        }
+    }
     out.push_str(&format!("piconet MTTF: {mttf:.1} s, MTTR: {mttr:.1} s\n"));
     out.push_str(&format!("availability: {:.4}\n", mttf / (mttf + mttr)));
     if let Some(path) = flag_value(args, "--export") {
@@ -472,6 +561,7 @@ fn cmd_stream(args: &[String]) -> Result<CliOutcome, CliError> {
             idle_timeout_ms: (idle_timeout_ms > 0).then_some(idle_timeout_ms),
             nap_node: NAP_NODE_ID,
             keep_tuples: false,
+            group_of: None,
         }),
     };
     let skip = engine.ingested();
@@ -935,6 +1025,82 @@ mod tests {
     }
 
     #[test]
+    fn campaign_topology_presets() {
+        let out = run(&args(&[
+            "campaign",
+            "--topology",
+            "scatternet",
+            "--hours",
+            "1",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("topology scatternet"), "{out}");
+        assert!(out.contains("piconet 0 (alpha"), "{out}");
+        assert!(out.contains("piconet 2 (gamma"), "{out}");
+        let out = run(&args(&[
+            "campaign",
+            "--topology",
+            "paper-both",
+            "--hours",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("testbed-a"), "{out}");
+        assert!(out.contains("testbed-b"), "{out}");
+    }
+
+    #[test]
+    fn campaign_json_envelope_echoes_topology() {
+        let out = run(&args(&[
+            "campaign",
+            "--topology",
+            "paper-a",
+            "--hours",
+            "1",
+            "--seed",
+            "5",
+            "--json",
+        ]))
+        .unwrap();
+        let v = serde_json::value_from_str(&out).expect("valid JSON envelope");
+        assert_eq!(
+            v.get("command").and_then(Value::as_str),
+            Some("campaign"),
+            "{out}"
+        );
+        let data = v.get("data").expect("data");
+        let topo = data.get("topology").expect("topology echoed");
+        assert_eq!(
+            topo.get("name").and_then(Value::as_str),
+            Some("paper-testbed-a")
+        );
+        let Some(Value::Array(piconets)) = data.get("piconets") else {
+            panic!("piconets array missing: {out}");
+        };
+        assert_eq!(piconets.len(), 1);
+        assert!(data.get("availability").is_some());
+    }
+
+    #[test]
+    fn campaign_topology_file_and_errors() {
+        let path = std::env::temp_dir().join("btpan_cli_topology_test.json");
+        let path_s = path.to_str().expect("utf8 temp path");
+        std::fs::write(&path, Topology::paper_a().to_json()).unwrap();
+        let out = run(&args(&["campaign", "--topology", path_s, "--hours", "1"])).unwrap();
+        assert!(out.contains("topology paper-testbed-a"), "{out}");
+        // Malformed file is a usage error naming the flag.
+        std::fs::write(&path, "{\"piconets\": []}").unwrap();
+        let err = run(&args(&["campaign", "--topology", path_s])).unwrap_err();
+        assert!(err.to_string().contains("--topology"), "{err}");
+        // Unknown preset that is not a file surfaces the IO error.
+        let err = run(&args(&["campaign", "--topology", "no-such-preset"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn bad_flag_values_error() {
         let err = run(&args(&["campaign", "--hours", "soon"])).unwrap_err();
         assert!(err.to_string().contains("--hours"));
@@ -1236,7 +1402,8 @@ mod tests {
         .unwrap();
         let data = envelope(&supervised, "table4", 0);
         assert_eq!(data.get("mode").and_then(Value::as_str), Some("supervised"));
-        assert!(data.get("attempts").and_then(Value::as_u64).unwrap() >= 8);
+        // 4 policies × 1 two-testbed seed.
+        assert!(data.get("attempts").and_then(Value::as_u64).unwrap() >= 4);
         assert_eq!(data.get("min_coverage").and_then(Value::as_f64), Some(1.0));
     }
 

@@ -6,11 +6,13 @@
 //! print next to the paper references.
 
 use crate::campaign::{Campaign, CampaignConfig, CampaignResult};
-use crate::machine::paper_machines;
 use crate::machine::NAP_NODE_ID;
 use crate::runner::run_seeds;
 use crate::supervisor::{run_supervised, SupervisorConfig};
-use btpan_analysis::dependability::{ConfidenceInterval, DependabilityReport, ScenarioMeasurement};
+use crate::topology::Topology;
+use btpan_analysis::dependability::{
+    ConfidenceInterval, DependabilityReport, ScenarioMeasurement, TestbedBreakdown,
+};
 use btpan_analysis::distributions::{self, AgeHistogram, ShareTable};
 use btpan_analysis::ttf::TtfTtrSeries;
 use btpan_collect::relate::RelationshipMatrix;
@@ -50,46 +52,52 @@ impl Scale {
     }
 }
 
-/// The display name of a testbed node.
+/// The display name of a testbed node (delegates to the machine table,
+/// the single source of truth for node-id → host-name).
 pub fn node_name(node: u64) -> String {
-    paper_machines()
-        .into_iter()
-        .find(|m| m.config.node_id == node)
-        .map_or_else(|| format!("node{node}"), |m| m.config.name)
+    crate::machine::node_name(node)
 }
 
+/// One campaign per seed over the paper's real deployment: **both**
+/// testbeds (Random + Realistic WL) running concurrently in a single
+/// [`Topology::paper_both`] campaign.
 fn run_both_workloads(scale: &Scale, policy: RecoveryPolicy) -> Vec<CampaignResult> {
-    let mut configs = Vec::new();
-    for &seed in &scale.seeds {
-        for wl in [WorkloadKind::Random, WorkloadKind::Realistic] {
-            configs.push((seed, wl));
-        }
-    }
     let duration = scale.duration;
-    // Parallel over (seed, workload) pairs via the seed runner: encode
-    // the workload in the seed stream order.
-    let seeds: Vec<u64> = (0..configs.len() as u64).collect();
-    run_seeds(&seeds, move |i| {
-        let (seed, wl) = configs[i as usize];
-        CampaignConfig::paper(seed, wl, policy).duration(duration)
+    run_seeds(&scale.seeds, move |seed| {
+        CampaignConfig::paper_both(seed, policy).duration(duration)
     })
+}
+
+/// The error–failure [`RelationshipMatrix`] of one campaign under its
+/// topology: every reporting node's merged logs, coalesced with the
+/// System Logs of **all** masters that can propagate to it (its home
+/// NAP plus, for bridges, every bridged piconet's master).
+pub fn relationship_matrix(
+    result: &CampaignResult,
+    topology: &Topology,
+    window: SimDuration,
+) -> RelationshipMatrix {
+    let master_systems: Vec<(u64, Vec<btpan_collect::entry::LogRecord>)> = result
+        .piconets
+        .iter()
+        .map(|p| (p.master, result.repository.system_records_of(p.master)))
+        .collect();
+    let node_streams: Vec<(u64, Vec<u64>, Vec<btpan_collect::entry::LogRecord>)> = result
+        .repository
+        .reporting_nodes()
+        .into_iter()
+        .map(|n| (n, topology.masters_of(n), result.repository.records_of(n)))
+        .collect();
+    RelationshipMatrix::from_node_logs_multi(&node_streams, &master_systems, window)
 }
 
 /// **Table 2** — error–failure relationship via merge-and-coalesce at
 /// the given window (the paper's 330 s by default).
 pub fn table2(scale: &Scale, window: SimDuration) -> RelationshipMatrix {
+    let topo = Topology::paper_both();
     let mut matrix = RelationshipMatrix::new();
     for result in run_both_workloads(scale, RecoveryPolicy::Siras) {
-        let nap_records = result.repository.system_records_of(NAP_NODE_ID);
-        let node_streams: Vec<(u64, Vec<btpan_collect::entry::LogRecord>)> = result
-            .repository
-            .reporting_nodes()
-            .into_iter()
-            .map(|n| (n, result.repository.records_of(n)))
-            .collect();
-        let m =
-            RelationshipMatrix::from_node_logs(&node_streams, &nap_records, NAP_NODE_ID, window);
-        matrix.absorb(&m);
+        matrix.absorb(&relationship_matrix(&result, &topo, window));
     }
     matrix
 }
@@ -155,6 +163,14 @@ pub fn table3(scale: &Scale) -> BTreeMap<UserFailure, [f64; 7]> {
         .collect()
 }
 
+/// Extends `series` with every piconet's own piconet-level series (the
+/// paper pooled the two testbeds' series, not their merged timeline).
+fn extend_per_piconet(series: &mut TtfTtrSeries, r: &CampaignResult) {
+    for i in 0..r.piconets.len() {
+        series.extend(&r.piconet_series_of(i));
+    }
+}
+
 /// **Table 4** — the four-policy dependability comparison, both
 /// testbeds pooled.
 pub fn table4(scale: &Scale) -> DependabilityReport {
@@ -166,7 +182,7 @@ pub fn table4(scale: &Scale) -> DependabilityReport {
         let mut masked = 0;
         let mut manifested = 0;
         for r in &results {
-            series.extend(&r.piconet_series());
+            extend_per_piconet(&mut series, r);
             covered += r.covered_count;
             masked += r.masked_count;
             manifested += r.failure_count;
@@ -177,6 +193,54 @@ pub fn table4(scale: &Scale) -> DependabilityReport {
         ));
     }
     DependabilityReport::new(scenarios)
+}
+
+/// **Table 4 per testbed** — the same four-policy comparison split per
+/// testbed of the paper's two-testbed deployment, next to the pooled
+/// columns. Each testbed's columns equal a single-testbed [`table4`]
+/// run at the same seeds (the per-piconet RNG roots are independent).
+pub fn table4_by_testbed(scale: &Scale) -> TestbedBreakdown {
+    let topo = Topology::paper_both();
+    let n = topo.piconets.len();
+    let mut per: Vec<Vec<(String, ScenarioMeasurement)>> = vec![Vec::new(); n];
+    let mut pooled = Vec::new();
+    for policy in RecoveryPolicy::ALL {
+        let results = run_both_workloads(scale, policy);
+        let mut pooled_series = TtfTtrSeries::default();
+        let mut totals = (0u64, 0u64, 0u64);
+        for (i, column) in per.iter_mut().enumerate() {
+            let mut series = TtfTtrSeries::default();
+            let (mut covered, mut masked, mut manifested) = (0u64, 0u64, 0u64);
+            for r in &results {
+                series.extend(&r.piconet_series_of(i));
+                let p = &r.piconets[i];
+                covered += p.covered_count;
+                masked += p.masked_count;
+                manifested += p.failure_count;
+            }
+            pooled_series.extend(&series);
+            totals.0 += covered;
+            totals.1 += masked;
+            totals.2 += manifested;
+            column.push((
+                policy.label().to_string(),
+                ScenarioMeasurement::from_series(&series, covered, masked, manifested),
+            ));
+        }
+        pooled.push((
+            policy.label().to_string(),
+            ScenarioMeasurement::from_series(&pooled_series, totals.0, totals.1, totals.2),
+        ));
+    }
+    TestbedBreakdown {
+        per_testbed: topo
+            .piconets
+            .iter()
+            .map(|p| p.label.clone())
+            .zip(per.into_iter().map(DependabilityReport::new))
+            .collect(),
+        pooled: DependabilityReport::new(pooled),
+    }
 }
 
 /// The streaming/batch cross-check of [`table4_streaming`].
@@ -215,6 +279,9 @@ pub fn table4_streaming(scale: &Scale) -> StreamingCrossCheck {
         idle_timeout_ms: None,
         nap_node: NAP_NODE_ID,
         keep_tuples: false,
+        // Route each testbed's nodes through one shard so a piconet's
+        // records stay mutually ordered end to end.
+        group_of: Some(Topology::paper_both().group_table()),
     };
     let mut records = Vec::new();
     for result in run_both_workloads(scale, RecoveryPolicy::Siras) {
@@ -244,7 +311,7 @@ pub struct SupervisedScenario {
     pub label: String,
     /// The pooled measurement over the seeds that completed.
     pub measurement: ScenarioMeasurement,
-    /// Fraction of requested (seed, workload) campaigns that completed.
+    /// Fraction of requested per-seed campaigns that completed.
     pub coverage: f64,
     /// 95 % CI on the MTTF, widened by `1/√coverage`.
     pub mttf_ci: ConfidenceInterval,
@@ -285,25 +352,17 @@ impl SupervisedTable4 {
     }
 }
 
-/// Runs [`table4`] under a [`SupervisorConfig`]: every (seed, workload)
-/// campaign is panic-isolated, retried per the config, and bounded by
-/// its per-seed deadline; lost campaigns shrink the coverage fraction,
-/// which in turn widens the per-column confidence intervals.
+/// Runs [`table4`] under a [`SupervisorConfig`]: every per-seed
+/// two-testbed campaign is panic-isolated, retried per the config, and
+/// bounded by its per-seed deadline; lost campaigns shrink the coverage
+/// fraction, which in turn widens the per-column confidence intervals.
 pub fn table4_supervised(scale: &Scale, supervisor: &SupervisorConfig) -> SupervisedTable4 {
     let mut scenarios = Vec::new();
     let mut attempts = 0;
     for policy in RecoveryPolicy::ALL {
-        let mut configs = Vec::new();
-        for &seed in &scale.seeds {
-            for wl in [WorkloadKind::Random, WorkloadKind::Realistic] {
-                configs.push((seed, wl));
-            }
-        }
         let duration = scale.duration;
-        let indices: Vec<u64> = (0..configs.len() as u64).collect();
-        let outcome = run_supervised(&indices, supervisor, |i| {
-            let (seed, wl) = configs[i as usize];
-            Campaign::new(CampaignConfig::paper(seed, wl, policy).duration(duration)).run()
+        let outcome = run_supervised(&scale.seeds, supervisor, |seed| {
+            Campaign::new(CampaignConfig::paper_both(seed, policy).duration(duration)).run()
         });
         attempts += outcome.attempts;
         let coverage = outcome.coverage();
@@ -312,7 +371,7 @@ pub fn table4_supervised(scale: &Scale, supervisor: &SupervisorConfig) -> Superv
         let mut masked = 0;
         let mut manifested = 0;
         for r in outcome.results.iter().flatten() {
-            series.extend(&r.piconet_series());
+            extend_per_piconet(&mut series, r);
             covered += r.covered_count;
             masked += r.masked_count;
             manifested += r.failure_count;
@@ -505,6 +564,20 @@ pub fn findings(scale: &Scale) -> Findings {
     }
 }
 
+/// **Extension: scatternet campaign** — runs the 3-piconet
+/// [`Topology::scatternet`] (one bridge PANU time-sharing all three
+/// piconets) end to end and coalesces the relationship matrix with
+/// every master the bridge can propagate to.
+pub fn scatternet_demo(seed: u64, duration: SimDuration) -> (CampaignResult, RelationshipMatrix) {
+    let topo = Topology::scatternet();
+    let result = Campaign::new(
+        CampaignConfig::with_topology(seed, topo.clone(), RecoveryPolicy::Siras).duration(duration),
+    )
+    .run();
+    let matrix = relationship_matrix(&result, &topo, SimDuration::from_secs(330));
+    (result, matrix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,7 +689,7 @@ mod extension_tests {
         let plain = table4(&scale);
         let supervised = table4_supervised(&scale, &crate::supervisor::SupervisorConfig::default());
         assert!((supervised.min_coverage() - 1.0).abs() < 1e-12);
-        assert_eq!(supervised.attempts, 4 * 2); // 4 policies × (1 seed × 2 workloads)
+        assert_eq!(supervised.attempts, 4); // 4 policies × 1 two-testbed seed
         let report = supervised.report();
         assert_eq!(report.scenarios.len(), plain.scenarios.len());
         for ((la, ma), (lb, mb)) in report.scenarios.iter().zip(plain.scenarios.iter()) {

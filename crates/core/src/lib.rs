@@ -8,6 +8,10 @@
 //!   NAP, `Verde`, `Miseno`, `Azzurro`, `Win`, the iPAQ H3870 and the
 //!   Zaurus SL-5600) with their stacks, transports, quirks and antenna
 //!   distances;
+//! * [`topology`] — data-driven testbeds: serde-loadable
+//!   [`topology::Topology`] specs describing N piconets (each 1 NAP +
+//!   PANUs with per-machine profiles and per-link overrides) plus
+//!   scatternet bridge nodes, with paper presets and validation;
 //! * [`testbed`] — assembles a 1-NAP + 6-PANU piconet per workload;
 //! * [`campaign`] — the 24/7 campaign simulator: runs `BlueTest`
 //!   connection plans on every PANU, consults the baseband/latent/stress
@@ -33,21 +37,24 @@ pub mod machine;
 pub mod runner;
 pub mod supervisor;
 pub mod testbed;
+pub mod topology;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignConfigBuilder, CampaignResult};
 pub use error::Error;
-pub use machine::{paper_machines, MachineRole};
+pub use machine::{node_name, paper_machines, MachineRole};
 pub use runner::run_seeds;
 pub use supervisor::{
     run_supervised, SeedVerdict, SupervisedOutcome, SupervisorConfig, SupervisorConfigBuilder,
 };
 pub use testbed::Testbed;
+pub use topology::{BridgeSpec, LinkSpec, MachineSpec, PiconetSpec, Topology};
 
 /// Convenient re-exports of the whole stack for downstream users.
 pub mod prelude {
     pub use crate::campaign::{Campaign, CampaignConfig, CampaignResult};
     pub use crate::machine::paper_machines;
     pub use crate::testbed::Testbed;
+    pub use crate::topology::Topology;
     pub use btpan_analysis as analysis;
     pub use btpan_baseband as baseband;
     pub use btpan_collect as collect;

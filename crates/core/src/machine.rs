@@ -11,7 +11,7 @@ use btpan_stack::host::{HostConfig, StackVariant};
 use btpan_stack::transport::TransportKind;
 
 /// Role of a machine in the PAN.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum MachineRole {
     /// Network Access Point (piconet master).
     Nap,
@@ -19,13 +19,17 @@ pub enum MachineRole {
     Panu,
 }
 
-/// One machine with its role.
+/// One machine with its role and campaign capabilities.
 #[derive(Debug, Clone)]
 pub struct Machine {
     /// Stack/transport/quirk configuration.
     pub config: HostConfig,
     /// NAP or PANU.
     pub role: MachineRole,
+    /// Capability flag: this host takes part in the Fig. 3b fixed-size
+    /// workload variant (a declared property of the machine, not a
+    /// host-name comparison).
+    pub fig3b_target: bool,
 }
 
 /// Node id of the NAP (`Giallo`).
@@ -59,6 +63,11 @@ pub fn paper_machines() -> Vec<Machine> {
             distance_m,
         },
         role,
+        fig3b_target: false,
+    };
+    let fig3b = |mut m: Machine| {
+        m.fig3b_target = true;
+        m
     };
     vec![
         mk(
@@ -70,7 +79,7 @@ pub fn paper_machines() -> Vec<Machine> {
             0.0,
             MachineRole::Nap,
         ),
-        mk(
+        fig3b(mk(
             "Verde",
             1,
             StackVariant::BlueZ,
@@ -78,7 +87,7 @@ pub fn paper_machines() -> Vec<Machine> {
             HostQuirks::linux_pc(),
             0.5,
             MachineRole::Panu,
-        ),
+        )),
         mk(
             "Miseno",
             2,
@@ -97,7 +106,7 @@ pub fn paper_machines() -> Vec<Machine> {
             7.0,
             MachineRole::Panu,
         ),
-        mk(
+        fig3b(mk(
             "Win",
             4,
             StackVariant::Broadcom,
@@ -105,7 +114,7 @@ pub fn paper_machines() -> Vec<Machine> {
             HostQuirks::windows_broadcom(),
             0.5,
             MachineRole::Panu,
-        ),
+        )),
         mk(
             "Ipaq",
             5,
@@ -125,6 +134,28 @@ pub fn paper_machines() -> Vec<Machine> {
             MachineRole::Panu,
         ),
     ]
+}
+
+/// Resolves a node id to its paper host name — the single source of
+/// truth for node-id → host-name across experiments, plots and the CLI.
+/// Covers both paper testbeds (A: ids 0–6, B: ids 100–106); any other
+/// id gets the `node<N>` fallback.
+pub fn node_name(node: u64) -> String {
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Vec<(u64, String)>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| {
+        crate::topology::Topology::paper_both()
+            .piconets
+            .iter()
+            .flat_map(|p| p.machines.iter())
+            .map(|m| (m.node_id, m.name.clone()))
+            .collect()
+    });
+    names
+        .iter()
+        .find(|(id, _)| *id == node)
+        .map(|(_, name)| name.clone())
+        .unwrap_or_else(|| format!("node{node}"))
 }
 
 #[cfg(test)]
@@ -180,6 +211,25 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn fig3b_capability_marks_verde_and_win() {
+        let targets: Vec<String> = paper_machines()
+            .iter()
+            .filter(|m| m.fig3b_target)
+            .map(|m| m.config.name.clone())
+            .collect();
+        assert_eq!(targets, ["Verde", "Win"]);
+    }
+
+    #[test]
+    fn node_name_covers_both_testbeds() {
+        assert_eq!(node_name(NAP_NODE_ID), "Giallo");
+        assert_eq!(node_name(4), "Win");
+        assert_eq!(node_name(100), "Giallo");
+        assert_eq!(node_name(106), "Zaurus");
+        assert_eq!(node_name(77), "node77");
     }
 
     #[test]

@@ -25,6 +25,14 @@ impl Testbed {
         Self::from_machines(workload, paper_machines())
     }
 
+    /// Builds a testbed from one piconet of a [`crate::topology::Topology`].
+    pub fn from_spec(spec: &crate::topology::PiconetSpec) -> Self {
+        Self::from_machines(
+            spec.workload,
+            spec.machines.iter().map(|m| m.to_machine()).collect(),
+        )
+    }
+
     /// Builds a testbed from an explicit machine list.
     ///
     /// # Panics
@@ -101,6 +109,18 @@ mod tests {
             let res = lm.inquiry(8, 1.0, &mut rng);
             assert!(res.devices.contains(&NAP_NODE_ID), "{}", p.name());
         }
+    }
+
+    #[test]
+    fn from_spec_matches_paper_builder() {
+        let topo = crate::topology::Topology::paper_both();
+        let tb = Testbed::from_spec(&topo.piconets[0]);
+        assert_eq!(tb.panu_count(), 6);
+        assert_eq!(tb.piconet.master(), NAP_NODE_ID);
+        // Testbed B uses the renumbered global ids.
+        let tb_b = Testbed::from_spec(&topo.piconets[1]);
+        assert_eq!(tb_b.piconet.master(), NAP_NODE_ID + 100);
+        assert!(tb_b.panu(104).is_some());
     }
 
     #[test]

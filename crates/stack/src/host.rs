@@ -19,7 +19,7 @@ use btpan_sim::prelude::*;
 use btpan_sim::time::{SimDuration, SimTime};
 
 /// Which protocol stack implementation the host runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum StackVariant {
     /// The official Linux Bluetooth stack (BlueZ 2.10 in the testbed).
     BlueZ,

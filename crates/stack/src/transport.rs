@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// Which transport a host uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TransportKind {
     /// Universal Serial Bus (commodity PCs).
     Usb,

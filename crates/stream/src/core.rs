@@ -108,6 +108,11 @@ pub struct StreamConfig {
     /// Retain closed global tuples in the outcome (tests; costs memory
     /// proportional to stream length).
     pub keep_tuples: bool,
+    /// Optional `(node, group)` routing table: nodes sharing a group
+    /// (e.g. a piconet id) share a shard. `None` — and any node absent
+    /// from the table — routes by hashed node id, which keeps old
+    /// checkpoints and single-piconet streams unchanged.
+    pub group_of: Option<Vec<(NodeId, u64)>>,
 }
 
 impl Default for StreamConfig {
@@ -120,6 +125,7 @@ impl Default for StreamConfig {
             idle_timeout_ms: Some(100),
             nap_node: 0,
             keep_tuples: false,
+            group_of: None,
         }
     }
 }
@@ -128,6 +134,15 @@ impl StreamConfig {
     /// The configured idle timeout as a `Duration`, if enabled.
     pub fn idle_timeout(&self) -> Option<std::time::Duration> {
         self.idle_timeout_ms.map(std::time::Duration::from_millis)
+    }
+
+    /// The shard router this configuration implies: group-based when a
+    /// routing table is present, plain node-id hashing otherwise.
+    pub fn router(&self) -> ShardRouter {
+        match &self.group_of {
+            Some(table) => ShardRouter::with_groups(self.shards, table),
+            None => ShardRouter::new(self.shards),
+        }
     }
 
     /// Starts a validating builder. Struct literals remain supported;
@@ -192,6 +207,12 @@ impl StreamConfigBuilder {
     /// The NAP's node id.
     pub fn nap_node(mut self, node: NodeId) -> Self {
         self.config.nap_node = node;
+        self
+    }
+
+    /// `(node, group)` shard-routing table (e.g. node → piconet id).
+    pub fn group_of(mut self, table: Option<Vec<(NodeId, u64)>>) -> Self {
+        self.config.group_of = table;
         self
     }
 
@@ -736,7 +757,7 @@ pub fn stream_records<I>(records: I, config: &StreamConfig) -> StreamOutcome
 where
     I: IntoIterator<Item = LogRecord>,
 {
-    let router = ShardRouter::new(config.shards);
+    let router = config.router();
     let mut core = StreamCore::new(config.clone());
     for rec in records {
         let shard = router.route(rec.node);

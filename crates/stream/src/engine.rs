@@ -97,7 +97,7 @@ impl StreamEngine {
             })
             .collect();
         StreamEngine {
-            router: ShardRouter::new(config.shards),
+            router: config.router(),
             senders,
             ack_rx,
             core,
@@ -245,6 +245,7 @@ mod tests {
             idle_timeout_ms: None,
             nap_node: 0,
             keep_tuples: true,
+            group_of: None,
         }
     }
 

@@ -5,24 +5,50 @@
 //! the per-shard lateness rule would depend on who did the routing.
 //! The router therefore hashes only the node id, with a fixed avalanche
 //! function (splitmix64) rather than `std`'s `RandomState`.
+//!
+//! Multi-piconet campaigns can instead route by **group** (piconet id):
+//! every member of a piconet lands on the same shard, so its NAP's
+//! System-Log entries and its PANUs' reports stay ordered relative to
+//! each other without cross-shard watermark coupling.
 
 use btpan_collect::entry::NodeId;
 
 /// Maps node ids to shard indices, stable across processes and runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRouter {
     shards: usize,
+    /// Sorted `(node, group)` table; empty means "hash the node id".
+    groups: Vec<(NodeId, u64)>,
 }
 
 impl ShardRouter {
-    /// Creates a router over `shards` shards.
+    /// Creates a router over `shards` shards, hashing node ids.
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
-        ShardRouter { shards }
+        ShardRouter {
+            shards,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Creates a router that hashes each node's *group* (e.g. its
+    /// piconet id) instead of the node id itself, so grouped nodes
+    /// share a shard. Nodes absent from the table fall back to node-id
+    /// hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_groups(shards: usize, groups: &[(NodeId, u64)]) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut groups = groups.to_vec();
+        groups.sort_unstable();
+        groups.dedup_by_key(|e| e.0);
+        ShardRouter { shards, groups }
     }
 
     /// Number of shards routed over.
@@ -31,9 +57,14 @@ impl ShardRouter {
     }
 
     /// The shard owning `node`. All records of a node land on the same
-    /// shard, so per-node log order is preserved end to end.
+    /// shard, so per-node log order is preserved end to end; with a
+    /// group table, all records of a *group* land on the same shard.
     pub fn route(&self, node: NodeId) -> usize {
-        (splitmix64(node) % self.shards as u64) as usize
+        let key = match self.groups.binary_search_by_key(&node, |e| e.0) {
+            Ok(i) => self.groups[i].1,
+            Err(_) => node,
+        };
+        (splitmix64(key) % self.shards as u64) as usize
     }
 }
 
@@ -75,6 +106,33 @@ mod tests {
             hit[r.route(node)] = true;
         }
         assert!(hit.iter().all(|&h| h), "all shards reached: {hit:?}");
+    }
+
+    #[test]
+    fn grouped_nodes_share_a_shard() {
+        // Two piconets: nodes 0-6 in group 0, nodes 100-106 in group 1.
+        let mut table = Vec::new();
+        for n in 0..=6u64 {
+            table.push((n, 0u64));
+        }
+        for n in 100..=106u64 {
+            table.push((n, 1u64));
+        }
+        let r = ShardRouter::with_groups(4, &table);
+        let s0 = r.route(0);
+        assert!((0..=6u64).all(|n| r.route(n) == s0), "group 0 split");
+        let s1 = r.route(100);
+        assert!((100..=106u64).all(|n| r.route(n) == s1), "group 1 split");
+        // Ungrouped nodes fall back to node-id hashing.
+        let plain = ShardRouter::new(4);
+        assert_eq!(r.route(5000), plain.route(5000));
+    }
+
+    #[test]
+    fn empty_group_table_matches_plain_router() {
+        let plain = ShardRouter::new(8);
+        let grouped = ShardRouter::with_groups(8, &[]);
+        assert!((0..200u64).all(|n| plain.route(n) == grouped.route(n)));
     }
 
     #[test]

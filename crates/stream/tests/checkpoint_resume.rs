@@ -70,6 +70,7 @@ fn config() -> StreamConfig {
         idle_timeout_ms: None,
         nap_node: NAP,
         keep_tuples: true,
+        group_of: None,
     }
 }
 

@@ -85,6 +85,7 @@ fn config(window_s: u64, shards: usize) -> StreamConfig {
         idle_timeout_ms: None,
         nap_node: NAP,
         keep_tuples: true,
+        group_of: None,
     }
 }
 

@@ -117,7 +117,7 @@ impl ConnectionPlan {
 }
 
 /// Which workload generated a plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum WorkloadKind {
     /// The Random WL of the first testbed.
     Random,

@@ -17,5 +17,11 @@ cargo run --release -p btpan-bench --bin repro_obs_overhead
 # slots/s floor) and every fast-vs-reference equivalence check must
 # pass. Emits BENCH_PR4.json at the repo root.
 cargo run --release -p btpan-bench --bin repro_bench -- --quick
+# Topology gate: the two-testbed `paper-both` preset must reproduce the
+# legacy single-testbed Table 4 substrate (failure counters + TTF/TTR
+# series) bit for bit per testbed at a fixed seed, and the 3-piconet
+# scatternet smoke campaign must run deterministically with
+# inter-piconet propagation visible in the relationship matrix.
+cargo run --release -p btpan-bench --bin repro_topology -- --quick
 
 echo "ci: all gates passed"

@@ -24,6 +24,7 @@ fn stream_config() -> StreamConfig {
         idle_timeout_ms: None,
         nap_node: NAP_NODE_ID,
         keep_tuples: false,
+        group_of: None,
     }
 }
 

@@ -1,0 +1,230 @@
+//! Acceptance tests for the topology layer: the two-testbed paper
+//! preset reproduces the legacy single-testbed campaigns bit for bit,
+//! and a 3-piconet scatternet with a bridge runs deterministically end
+//! to end with inter-piconet propagation visible.
+
+use btpan::campaign::{Campaign, CampaignConfig};
+use btpan::experiment::{relationship_matrix, scatternet_demo};
+use btpan::machine::MachineRole;
+use btpan::prelude::*;
+use btpan::stream::{StreamConfig, StreamEngine, DEFAULT_WINDOW};
+use btpan::topology::Topology;
+use btpan_collect::entry::LogRecord;
+use btpan_collect::trace::{export_trace, import_trace};
+use btpan_faults::CauseSite;
+
+fn run(config: CampaignConfig) -> btpan::campaign::CampaignResult {
+    Campaign::new(config).run()
+}
+
+/// The acceptance bar of the refactor: `paper-both` runs the two paper
+/// testbeds in one campaign and each reproduces today's single-testbed
+/// results — failure counters and the full TTF/TTR series — at equal
+/// seed, per policy.
+#[test]
+fn paper_both_reproduces_single_testbed_campaigns() {
+    let seed = 42;
+    let dur = SimDuration::from_secs(12 * 3600);
+    for policy in [RecoveryPolicy::RebootOnly, RecoveryPolicy::Siras] {
+        let both = run(CampaignConfig::paper_both(seed, policy).duration(dur));
+        let a = run(CampaignConfig::paper(seed, WorkloadKind::Random, policy).duration(dur));
+        let b = run(CampaignConfig::paper(seed, WorkloadKind::Realistic, policy).duration(dur));
+
+        assert_eq!(both.piconets.len(), 2);
+        assert_eq!(both.piconets[0].failure_count, a.failure_count);
+        assert_eq!(both.piconets[0].masked_count, a.masked_count);
+        assert_eq!(both.piconets[0].cycles_run, a.cycles_run);
+        assert_eq!(both.piconets[1].failure_count, b.failure_count);
+        assert_eq!(both.piconets[1].masked_count, b.masked_count);
+        assert_eq!(both.piconets[1].cycles_run, b.cycles_run);
+        assert_eq!(
+            both.failure_count,
+            a.failure_count + b.failure_count,
+            "campaign totals pool both testbeds"
+        );
+
+        // The dependability series — the substrate of Table 4 — must be
+        // bit-exact per testbed, not just equal in count.
+        assert_eq!(both.piconet_series_of(0), a.piconet_series());
+        assert_eq!(both.piconet_series_of(1), b.piconet_series());
+    }
+}
+
+/// The Table 2 relationship matrix of the combined campaign equals the
+/// two single-testbed matrices absorbed together.
+#[test]
+fn paper_both_reproduces_single_testbed_matrices() {
+    let seed = 7;
+    let dur = SimDuration::from_secs(12 * 3600);
+    let window = SimDuration::from_secs(330);
+    let policy = RecoveryPolicy::RebootOnly;
+
+    let topo_both = Topology::paper_both();
+    let both = run(CampaignConfig::paper_both(seed, policy).duration(dur));
+    let combined = relationship_matrix(&both, &topo_both, window);
+
+    let topo_a = Topology::paper_a();
+    let a = run(CampaignConfig::paper(seed, WorkloadKind::Random, policy).duration(dur));
+    let mut split = relationship_matrix(&a, &topo_a, window);
+    let topo_b = Topology::paper_b();
+    let b = run(CampaignConfig::with_topology(seed, topo_b.clone(), policy).duration(dur));
+    split.absorb(&relationship_matrix(&b, &topo_b, window));
+
+    assert!(combined.grand_total() > 0, "no observations collected");
+    assert_eq!(combined, split);
+}
+
+/// The 3-piconet scatternet runs deterministically end to end: same
+/// seed twice gives identical counters, series and matrix.
+#[test]
+fn scatternet_campaign_is_deterministic() {
+    let dur = SimDuration::from_secs(12 * 3600);
+    let topo = Topology::scatternet();
+    let (r1, m1) = scatternet_demo(9, dur);
+    let (r2, m2) = scatternet_demo(9, dur);
+    assert_eq!(r1.piconets, r2.piconets);
+    assert_eq!(r1.failure_count, r2.failure_count);
+    assert_eq!(r1.piconet_series(), r2.piconet_series());
+    assert_eq!(m1, m2);
+    assert_eq!(r1.piconets.len(), topo.piconets.len());
+    // The bridge PANU lives in piconet alpha.
+    assert!(r1.piconets[0].panus.contains(&201));
+}
+
+/// Bridged faults reach remote masters: with the bridge removed (same
+/// machines, no scatternet joins) the remote piconets' master logs
+/// shrink, and the combined matrix still correlates NAP-site evidence.
+#[test]
+fn scatternet_bridge_propagates_across_piconets() {
+    let seed = 11;
+    let dur = SimDuration::from_secs(48 * 3600);
+    let topo = Topology::scatternet();
+    let bridged =
+        run(CampaignConfig::with_topology(seed, topo.clone(), RecoveryPolicy::Siras).duration(dur));
+    let mut cut = topo.clone();
+    cut.bridges.clear();
+    let isolated =
+        run(CampaignConfig::with_topology(seed, cut, RecoveryPolicy::Siras).duration(dur));
+
+    // Remote masters (beta and gamma, ids 210/220) collect strictly
+    // more system evidence when the bridge can propagate into them.
+    let remote_records = |r: &btpan::campaign::CampaignResult| {
+        r.repository.system_records_of(210).len() + r.repository.system_records_of(220).len()
+    };
+    assert!(
+        remote_records(&bridged) > remote_records(&isolated),
+        "bridged {} vs isolated {}",
+        remote_records(&bridged),
+        remote_records(&isolated)
+    );
+
+    // And the relationship matrix built over all reachable masters
+    // shows the propagated (NAP-site) evidence.
+    let matrix = relationship_matrix(&bridged, &topo, SimDuration::from_secs(330));
+    let nap_cells: u64 = matrix
+        .cells()
+        .iter()
+        .filter_map(|(_, cause, n)| match cause {
+            Some((_, CauseSite::Nap)) => Some(*n),
+            _ => None,
+        })
+        .sum();
+    assert!(nap_cells > 0, "no NAP-site observations in the matrix");
+}
+
+/// The scatternet trace completes the pipeline: campaign → collect
+/// (trace export/import) → stream (shards keyed by home piconet) →
+/// analysis, deterministically.
+#[test]
+fn scatternet_trace_streams_deterministically() {
+    let topo = Topology::scatternet();
+    let (result, _) = scatternet_demo(9, SimDuration::from_secs(12 * 3600));
+    let trace = export_trace(&result.repository);
+    let records: Vec<LogRecord> = import_trace(&trace).expect("trace round-trips");
+
+    let config = StreamConfig {
+        shards: 3,
+        channel_capacity: 256,
+        window: DEFAULT_WINDOW,
+        watermark_lag: DEFAULT_WINDOW * 2,
+        idle_timeout_ms: None,
+        nap_node: topo.piconets[0].master_id(),
+        keep_tuples: false,
+        group_of: Some(topo.group_table()),
+    };
+    // All members of one piconet land on the same shard.
+    let router = config.router();
+    for p in &topo.piconets {
+        let shards: Vec<_> = p.member_ids().iter().map(|&n| router.route(n)).collect();
+        assert!(
+            shards.windows(2).all(|w| w[0] == w[1]),
+            "piconet {} split across shards: {shards:?}",
+            p.id
+        );
+    }
+
+    let stream_once = || {
+        let mut engine = StreamEngine::start(config.clone());
+        for rec in records.clone() {
+            engine.ingest(rec).expect("engine alive");
+        }
+        engine.finish().snapshot
+    };
+    let s1 = stream_once();
+    let s2 = stream_once();
+    assert_eq!(s1.records_emitted, records.len() as u64);
+    assert!(s1.analysis_eq(&s2), "streaming is not deterministic");
+}
+
+/// Satellite: validation rejects malformed topologies — duplicate node
+/// ids, a piconet with zero PANUs, a bridge referencing a missing
+/// piconet, and more than 7 active members per piconet.
+#[test]
+fn topology_validation_rejects_bad_specs() {
+    // Duplicate global node ids across piconets.
+    let mut t = Topology::paper_both();
+    t.piconets[1].machines[0].node_id = 0;
+    assert!(t.validate().is_err(), "duplicate node ids accepted");
+
+    // A piconet with zero PANUs.
+    let mut t = Topology::paper_a();
+    t.piconets[0]
+        .machines
+        .retain(|m| m.role == MachineRole::Nap);
+    assert!(t.validate().is_err(), "zero-PANU piconet accepted");
+
+    // A bridge referencing a piconet id that does not exist.
+    let mut t = Topology::scatternet();
+    t.bridges[0].joins.push(99);
+    assert!(t.validate().is_err(), "dangling bridge join accepted");
+
+    // An eighth active member (7 PANUs + 1 incoming bridge).
+    let mut t = Topology::scatternet();
+    let mut extra = t.piconets[1].machines[1].clone();
+    for (i, m) in t.piconets[1]
+        .machines
+        .iter_mut()
+        .filter(|m| m.role == MachineRole::Panu)
+        .enumerate()
+    {
+        m.node_id = 300 + i as u64;
+    }
+    // Fill beta up to 7 PANUs; the alpha bridge joining it is the 8th.
+    for i in 0..5 {
+        extra.node_id = 400 + i;
+        extra.name = format!("Extra-{i}");
+        t.piconets[1].machines.push(extra.clone());
+    }
+    assert!(t.validate().is_err(), "8 active members accepted");
+}
+
+/// The topology survives a JSON round trip unchanged, and malformed
+/// JSON is rejected with a ConfigError rather than a panic.
+#[test]
+fn topology_json_round_trip() {
+    let t = Topology::scatternet();
+    let back = Topology::from_json(&t.to_json()).expect("round trip parses");
+    assert_eq!(back, t);
+    assert!(Topology::from_json("{\"piconets\": []}").is_err());
+    assert!(Topology::from_json("not json").is_err());
+}
